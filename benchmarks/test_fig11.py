@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 11 (latency breakdown of D2D communication)."""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11(once):
+    result = once(run_fig11)
+    print("\n" + result.render())
+    # Paper headlines: 42 % software-latency reduction without NDP and
+    # 72 % with NDP, vs software-controlled P2P.
+    assert 0.35 < result.metrics["fig11a_software_reduction"] < 0.70
+    assert 0.55 < result.metrics["fig11b_software_reduction"] < 0.85
+    # Total latency must also drop, decisively so with NDP.
+    assert result.metrics["fig11a_total_reduction"] > 0.10
+    assert result.metrics["fig11b_total_reduction"] > 0.30

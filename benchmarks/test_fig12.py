@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig 12 (Swift and HDFS CPU-utilization breakdowns)."""
+
+from repro.experiments import run_fig12_hdfs, run_fig12_swift
+
+
+def test_fig12a_swift(once):
+    result = once(run_fig12_swift)
+    print("\n" + result.render())
+    # Paper: ~52 % CPU reduction; shape bound: DCS uses well under
+    # 60 % of the software baseline's CPU at matched load.
+    assert result.metrics["swift_dcs_vs_swopt_cpu"] < 0.60
+    assert result.metrics["swift_dcs_vs_p2p_cpu"] < 0.60
+
+
+def test_fig12b_hdfs(once):
+    result = once(run_fig12_hdfs)
+    print("\n" + result.render())
+    assert result.metrics["hdfs_dcs_vs_swopt_cpu"] < 0.60
+    # "software-controlled P2P cannot improve the performance of HDFS"
+    assert 0.9 < result.metrics["hdfs_p2p_vs_swopt_cpu"] < 1.15
+    # Matched bandwidth between the compared designs.
+    assert (abs(result.metrics["hdfs_dcs_gbps"]
+                - result.metrics["hdfs_swopt_gbps"])
+            < 0.25 * result.metrics["hdfs_swopt_gbps"])

@@ -1,0 +1,19 @@
+"""Bench: validate Fig 13 by *simulating* the projected 40 Gbps node.
+
+The paper could only extrapolate its 40 Gbps / six-SSD configuration
+from 10 Gbps measurements; the simulator builds that machine directly
+(extension beyond the paper).
+"""
+
+from repro.experiments.fig13_validate import run_fig13_validate
+
+
+def test_fig13_validated_by_simulation(once):
+    result = once(run_fig13_validate)
+    print("\n" + result.render())
+    # The projection's shape holds when simulated directly: DCS-ctrl
+    # delivers roughly the paper's ~2x over the software design at the
+    # upgraded line rate, with a fraction of the CPU.
+    assert result.metrics["throughput_ratio"] > 1.5
+    assert result.metrics["dcs_cores"] < 3.0
+    assert result.metrics["dcs_cores"] < result.metrics["sw_cores"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 3 (software overheads of multi-device tasks)."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(once):
+    result = once(run_fig3)
+    print("\n" + result.render())
+    # Shape: P2P <= SW-opt in both latency and CPU; the integrated
+    # device removes most of the software overhead.
+    assert result.metrics["p2p_total_us"] <= result.metrics["sw_opt_total_us"]
+    assert result.metrics["integrated_vs_swopt_latency"] < 0.7
+    assert result.metrics["integrated_vs_swopt_cpu"] < 0.4

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 8 (kernel-side CPU, Linux vs DCS-ctrl)."""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8(once):
+    result = once(run_fig8)
+    print("\n" + result.render())
+    # Shape: DCS-ctrl cuts kernel CPU at least as much as software
+    # optimization does.
+    assert result.metrics["swopt_vs_linux"] < 0.85
+    assert result.metrics["dcs_vs_linux"] < result.metrics["swopt_vs_linux"]
+    assert result.metrics["dcs_vs_linux"] < 0.35

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (scheme comparison matrix)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(once):
+    result = once(run_table1)
+    print("\n" + result.render())
+    assert result.metrics["dcs_functions"] > result.metrics[
+        "integrated_functions"]
+    assert len(result.rows) == 4

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table III (NDP unit resources and throughput)."""
+
+from repro.experiments import run_table3
+
+
+def test_table3(once):
+    result = once(run_table3)
+    print("\n" + result.render())
+    # Paper: "on average, only 3.28% slice LUT and 1.02% slice register
+    # of a Virtex 7 FPGA are required".
+    assert abs(result.metrics["avg_lut_pct"] - 3.28) < 0.15
+    assert abs(result.metrics["avg_reg_pct"] - 1.02) < 0.10

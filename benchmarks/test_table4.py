@@ -1,0 +1,12 @@
+"""Bench: regenerate Table IV (HDC Engine resource utilization)."""
+
+from repro.experiments import run_table4
+
+
+def test_table4(once):
+    result = once(run_table4)
+    print("\n" + result.render())
+    assert abs(result.metrics["lut_pct"] - 38) < 1.0
+    assert abs(result.metrics["reg_pct"] - 15) < 1.0
+    assert abs(result.metrics["bram_pct"] - 43) < 1.0
+    assert result.metrics["fits_all_ndp"] == 1.0

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""HDFS-balancer block movement: sender/receiver CPU per design.
+
+Moves a batch of blocks node0 → node1 with CRC32 integrity checking on
+the receiver (the paper's §V-C2 workload) under all three designs, and
+prints throughput plus both sides' CPU — showing the paper's two
+observations: software-controlled P2P cannot help HDFS, and DCS-ctrl
+slashes the CPU on both ends.
+
+Run:  python examples/hdfs_balancer.py
+"""
+
+from repro.apps import HdfsConfig, run_hdfs_balancer
+from repro.schemes import (DcsCtrlScheme, SwOptScheme, SwP2pScheme, Testbed)
+from repro.units import MIB
+
+CONFIG = HdfsConfig(blocks=16, block_size=1 * MIB, streams=4)
+
+
+def main():
+    results = {}
+    for scheme_cls in (SwOptScheme, SwP2pScheme, DcsCtrlScheme):
+        testbed = Testbed(seed=13)
+        scheme = scheme_cls(testbed)
+        run = run_hdfs_balancer(scheme, CONFIG)
+        results[scheme.name] = run
+        print(f"\n=== {scheme.name}")
+        print(f"  moved {run.bytes_moved >> 20} MiB at "
+              f"{run.throughput_gbps:.2f} Gbps")
+        print(f"  sender CPU:   {run.sender_cpu_total * 100:6.2f} % "
+              f"of 6 cores")
+        print(f"  receiver CPU: {run.receiver_cpu_total * 100:6.2f} % "
+              f"of 6 cores")
+    sw = results["sw-opt"]
+    dcs = results["dcs-ctrl"]
+    reduction = 1 - ((dcs.sender_cpu_total + dcs.receiver_cpu_total)
+                     / (sw.sender_cpu_total + sw.receiver_cpu_total))
+    print(f"\nDCS-ctrl reduced balancer CPU by {reduction * 100:.0f} % at "
+          "comparable bandwidth")
+    print("(the paper reports a ~52 % reduction; P2P shows no gain on "
+          "HDFS, as in Fig 12b)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Near-device processing showcase: every NDP function in flight.
+
+Streams one file through the HDC Engine with each configured NDP unit —
+the integrity hashes (MD5/SHA-1/SHA-256/CRC32), AES-256 encryption and
+GZIP compression — without the data ever touching host memory, then
+verifies every result against an independent host-side computation.
+
+This is the paper's applicability argument made concrete: the same
+engine, the same off-the-shelf devices, six different intermediate
+processing functions selected per command (Table III).
+
+Run:  python examples/ndp_pipeline.py
+"""
+
+import hashlib
+import zlib
+
+from repro.algos import aes256_ctr, lz77_decompress
+from repro.core.ndp.unit import _AES_KEY, _AES_NONCE
+from repro.schemes import Testbed
+from repro.units import KIB
+
+SIZE = 32 * KIB
+
+
+def main():
+    testbed = Testbed(seed=17)
+    node = testbed.node0
+    payload = (b"The quick brown fox jumps over the lazy dog. " * 800)[:SIZE]
+    node.host.install_file("pipeline.dat", payload)
+    fd = node.library.open_file("pipeline.dat")
+
+    checks = {
+        "md5": lambda d, _: d == hashlib.md5(payload).digest(),
+        "sha1": lambda d, _: d == hashlib.sha1(payload).digest(),
+        "sha256": lambda d, _: d == hashlib.sha256(payload).digest(),
+        "crc32": lambda d, _: int.from_bytes(d, "big") == zlib.crc32(payload),
+        "aes256": lambda _, out: aes256_ctr(out, _AES_KEY,
+                                            _AES_NONCE) == payload,
+        "gzip": lambda _, out: lz77_decompress(out) == payload,
+    }
+
+    print(f"Streaming {SIZE // 1024} KiB through each NDP unit "
+          "(SSD -> NDP -> host):\n")
+    for func, check in checks.items():
+        buf = node.host.alloc_buffer(SIZE + 64 * KIB)
+        start = testbed.sim.now
+
+        def body(sim, func=func, buf=buf):
+            return (yield from node.library.hdc_readfile(
+                fd, 0, SIZE, buf, func=func))
+
+        completion = testbed.sim.run(until=testbed.sim.process(
+            body(testbed.sim)))
+        elapsed_us = (testbed.sim.now - start) / 1000
+        output = node.host.fabric.peek(buf, completion.result_length)
+        ok = check(completion.digest, output)
+        extra = ""
+        if func == "gzip":
+            ratio = completion.result_length / SIZE
+            extra = f"  (compressed to {ratio * 100:.0f} %)"
+        print(f"  {func:8s} {elapsed_us:9.1f} us   "
+              f"{'verified' if ok else 'MISMATCH'}{extra}")
+        assert ok, func
+        node.host.free_buffer(buf, SIZE + 64 * KIB)
+    print("\nEvery NDP result matches an independent host-side "
+          "computation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — a reproduction of DCS-ctrl (ISCA 2018) as a simulated system.
+
+DCS-ctrl is a hardware-based device-control (HDC) mechanism for
+device-centric servers: an independent FPGA "HDC Engine" that
+orchestrates direct device-to-device (D2D) communication among
+off-the-shelf NVMe SSDs, NICs and GPUs, with near-device processing
+(NDP) units for intermediate data processing.
+
+This package implements the complete system as a functional + timing
+discrete-event simulation:
+
+* :mod:`repro.sim` — the discrete-event kernel;
+* :mod:`repro.pcie`, :mod:`repro.memory` — the interconnect and memory
+  substrates;
+* :mod:`repro.devices` — NVMe SSD, 10-GbE NIC and GPU models;
+* :mod:`repro.net` — packets, TCP framing, the inter-node wire;
+* :mod:`repro.host` — CPU accounting and the mini OS kernel;
+* :mod:`repro.core` — **the paper's contribution**: HDC Engine
+  (scoreboard, standard device controllers, NDP units), HDC Driver and
+  HDC Library;
+* :mod:`repro.schemes` — the four evaluated designs (software-optimized
+  host-centric, software-controlled P2P, device integration, DCS-ctrl);
+* :mod:`repro.apps` — Swift-like object store and HDFS-like balancer;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

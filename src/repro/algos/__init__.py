@@ -1,0 +1,32 @@
+"""From-scratch data-processing algorithms.
+
+These are the functional cores behind both the GPU's offload kernels
+and the HDC Engine's NDP units (paper Table III): data-integrity hashes
+(MD5, SHA-1, SHA-256, CRC32), AES-256 encryption, and a GZIP-style
+LZ77 compressor.  All are implemented from first principles in this
+repository and verified against the Python standard library (hashlib /
+zlib / binascii) in the test suite; the LZ77 container is our own
+(DESIGN.md §6) and round-trips through :func:`lz77_decompress`.
+"""
+
+from repro.algos.md5 import md5_digest, md5_hexdigest
+from repro.algos.sha1 import sha1_digest, sha1_hexdigest
+from repro.algos.sha256 import sha256_digest, sha256_hexdigest
+from repro.algos.crc32 import crc32, crc32_digest
+from repro.algos.aes import aes256_ctr, expand_key_256
+from repro.algos.lz77 import lz77_compress, lz77_decompress
+
+__all__ = [
+    "aes256_ctr",
+    "crc32",
+    "crc32_digest",
+    "expand_key_256",
+    "lz77_compress",
+    "lz77_decompress",
+    "md5_digest",
+    "md5_hexdigest",
+    "sha1_digest",
+    "sha1_hexdigest",
+    "sha256_digest",
+    "sha256_hexdigest",
+]

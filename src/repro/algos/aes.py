@@ -1,0 +1,137 @@
+"""AES-256 (FIPS 197) with CTR-mode streaming.
+
+Swift/HDFS/S3/Azure all encrypt with AES-256 (paper Table II); the NDP
+AES unit streams data through this cipher.  CTR mode is used because it
+is length-preserving (ciphertext size == plaintext size), which is what
+a transparent storage/network encryption stage needs, and decryption is
+the same operation as encryption.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+_SBOX = None  # built lazily below
+
+
+def _build_sbox() -> bytes:
+    """Construct the AES S-box from GF(2^8) inverses (no magic tables)."""
+    # Multiplicative inverse via exp/log tables over the AES field.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(value: int) -> int:
+        if value == 0:
+            return 0
+        return exp[255 - log[value]]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = inverse(value)
+        result = 0x63
+        for bit in range(8):
+            result ^= (((inv >> bit) ^ (inv >> ((bit + 4) % 8))
+                        ^ (inv >> ((bit + 5) % 8)) ^ (inv >> ((bit + 6) % 8))
+                        ^ (inv >> ((bit + 7) % 8))) & 1) << bit
+        sbox[value] = result
+    return bytes(sbox)
+
+
+def _sbox() -> bytes:
+    global _SBOX
+    if _SBOX is None:
+        _SBOX = _build_sbox()
+    return _SBOX
+
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C)
+
+
+def expand_key_256(key: bytes) -> list[bytes]:
+    """AES-256 key schedule: 15 round keys of 16 bytes each."""
+    if len(key) != 32:
+        raise ProtocolError(f"AES-256 key must be 32 bytes, got {len(key)}")
+    sbox = _sbox()
+    words = [key[i:i + 4] for i in range(0, 32, 4)]
+    for i in range(8, 60):
+        temp = words[i - 1]
+        if i % 8 == 0:
+            temp = bytes(sbox[b] for b in temp[1:] + temp[:1])
+            temp = bytes([temp[0] ^ _RCON[i // 8 - 1]]) + temp[1:]
+        elif i % 8 == 4:
+            temp = bytes(sbox[b] for b in temp)
+        words.append(bytes(a ^ b for a, b in zip(words[i - 8], temp)))
+    return [b"".join(words[4 * r:4 * r + 4]) for r in range(15)]
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mix_single_column(column: bytearray) -> None:
+    a = list(column)
+    total = a[0] ^ a[1] ^ a[2] ^ a[3]
+    first = a[0]
+    for i in range(4):
+        nxt = a[(i + 1) % 4] if i < 3 else first
+        column[i] = a[i] ^ total ^ _xtime(a[i] ^ nxt)
+
+
+def _encrypt_block(block: bytes, round_keys: list[bytes]) -> bytes:
+    """Encrypt one 16-byte block (column-major AES state)."""
+    sbox = _sbox()
+    state = bytearray(a ^ b for a, b in zip(block, round_keys[0]))
+    for round_no in range(1, 15):
+        # SubBytes
+        for i in range(16):
+            state[i] = sbox[state[i]]
+        # ShiftRows (state is column-major: byte r + 4c)
+        for row in range(1, 4):
+            row_bytes = [state[row + 4 * col] for col in range(4)]
+            row_bytes = row_bytes[row:] + row_bytes[:row]
+            for col in range(4):
+                state[row + 4 * col] = row_bytes[col]
+        # MixColumns (skipped in the final round)
+        if round_no < 14:
+            for col in range(4):
+                column = state[4 * col:4 * col + 4]
+                _mix_single_column(column)
+                state[4 * col:4 * col + 4] = column
+        # AddRoundKey
+        key = round_keys[round_no]
+        for i in range(16):
+            state[i] ^= key[i]
+    return bytes(state)
+
+
+def aes256_ctr(data: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with AES-256 in CTR mode.
+
+    ``nonce`` is 8 bytes; the remaining 8 bytes of each counter block
+    are a big-endian block counter.  Applying the function twice with
+    the same key/nonce returns the original data.
+    """
+    if len(nonce) != 8:
+        raise ProtocolError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+    round_keys = expand_key_256(key)
+    out = bytearray(len(data))
+    for block_no in range(0, (len(data) + 15) // 16):
+        counter_block = nonce + block_no.to_bytes(8, "big")
+        keystream = _encrypt_block(counter_block, round_keys)
+        start = block_no * 16
+        chunk = data[start:start + 16]
+        out[start:start + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, keystream))
+    return bytes(out)

@@ -1,0 +1,40 @@
+"""CRC-32 (IEEE 802.3 / zlib polynomial), table-driven.
+
+HDFS checksums blocks with CRC32 (paper Table II); this is the
+functional core of the NDP CRC32 unit and the GPU CRC kernel.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """CRC-32 of ``data``; ``value`` chains partial results like zlib."""
+    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_digest(data: bytes) -> bytes:
+    """CRC-32 as 4 big-endian bytes (how HDFS stores block checksums)."""
+    return struct.pack(">I", crc32(data))

@@ -1,0 +1,130 @@
+"""An LZ77 sliding-window compressor with a self-describing container.
+
+Stands in for the Xilinx GZIP IP core the paper's NDP table lists
+(Table III) — we cannot license that core, and bit-exact DEFLATE is not
+needed for any measured behaviour; what the experiments need is a real
+compressor with configurable effort whose output round-trips.  The
+token stream uses hash-chain matching over a 32 KiB window (the same
+window DEFLATE uses).
+
+Container format (little-endian):
+
+* magic ``LZRP`` (4 bytes), original length (8 bytes);
+* a sequence of tokens: ``0x00 <len:u16> <literals>`` for literal runs
+  and ``0x01 <distance:u16> <length:u16>`` for back-references.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+MAGIC = b"LZRP"
+WINDOW = 32 * 1024
+MIN_MATCH = 4
+MAX_MATCH = 0xFFFF
+MAX_LITERAL_RUN = 0xFFFF
+
+_TOKEN_LITERAL = 0x00
+_TOKEN_MATCH = 0x01
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return (data[pos] << 16 | data[pos + 1] << 8 | data[pos + 2]) % 65521
+
+
+def lz77_compress(data: bytes, max_chain: int = 16) -> bytes:
+    """Compress ``data``; ``max_chain`` bounds match-search effort."""
+    out = bytearray(MAGIC + struct.pack("<Q", len(data)))
+    if not data:
+        return bytes(out)
+    heads: dict[int, list[int]] = {}
+    literals = bytearray()
+
+    def flush_literals() -> None:
+        start = 0
+        while start < len(literals):
+            run = literals[start:start + MAX_LITERAL_RUN]
+            out.append(_TOKEN_LITERAL)
+            out.extend(struct.pack("<H", len(run)))
+            out.extend(run)
+            start += len(run)
+        literals.clear()
+
+    pos = 0
+    n = len(data)
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + MIN_MATCH <= n:
+            key = _hash3(data, pos)
+            chain = heads.get(key, [])
+            tried = 0
+            for candidate in reversed(chain):
+                if pos - candidate > WINDOW:
+                    break
+                if tried >= max_chain:
+                    break
+                tried += 1
+                length = 0
+                limit = min(MAX_MATCH, n - pos)
+                while (length < limit
+                       and data[candidate + length] == data[pos + length]):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= limit:
+                        break
+            chain.append(pos)
+            heads[key] = chain
+        if best_len >= MIN_MATCH:
+            flush_literals()
+            out.append(_TOKEN_MATCH)
+            out += struct.pack("<HH", best_dist, best_len)
+            # Index the skipped positions so later matches can find them.
+            for skipped in range(pos + 1, min(pos + best_len, n - MIN_MATCH + 1)):
+                heads.setdefault(_hash3(data, skipped), []).append(skipped)
+            pos += best_len
+        else:
+            literals.append(data[pos])
+            pos += 1
+    flush_literals()
+    return bytes(out)
+
+
+def lz77_decompress(blob: bytes) -> bytes:
+    """Decompress a container produced by :func:`lz77_compress`."""
+    if len(blob) < 12 or blob[:4] != MAGIC:
+        raise ProtocolError("not an LZRP container")
+    (original_len,) = struct.unpack("<Q", blob[4:12])
+    out = bytearray()
+    pos = 12
+    while pos < len(blob):
+        token = blob[pos]
+        pos += 1
+        if token == _TOKEN_LITERAL:
+            if pos + 2 > len(blob):
+                raise ProtocolError("truncated literal token")
+            (run_len,) = struct.unpack("<H", blob[pos:pos + 2])
+            pos += 2
+            if pos + run_len > len(blob):
+                raise ProtocolError("truncated literal run")
+            out += blob[pos:pos + run_len]
+            pos += run_len
+        elif token == _TOKEN_MATCH:
+            if pos + 4 > len(blob):
+                raise ProtocolError("truncated match token")
+            distance, length = struct.unpack("<HH", blob[pos:pos + 4])
+            pos += 4
+            if distance == 0 or distance > len(out):
+                raise ProtocolError(f"bad match distance {distance}")
+            for _ in range(length):
+                out.append(out[-distance])
+        else:
+            raise ProtocolError(f"unknown token {token}")
+    if len(out) != original_len:
+        raise ProtocolError(
+            f"decompressed {len(out)} bytes, container says {original_len}")
+    return bytes(out)

@@ -1,0 +1,71 @@
+"""MD5 (RFC 1321), implemented from the specification.
+
+Swift uses MD5 ETags for data integrity (paper Table II), and the
+SSD→Processing→NIC microbenchmark of Fig. 11b computes an MD5 checksum;
+this is the functional core the NDP MD5 unit and the GPU MD5 kernel
+share.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+# Per-round shift amounts.
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+
+# K[i] = floor(2^32 * |sin(i + 1)|), as the RFC defines them.
+_K = [int(abs(math.sin(i + 1)) * 2 ** 32) & 0xFFFFFFFF for i in range(64)]
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _pad(message_len: int) -> bytes:
+    padding = b"\x80" + b"\x00" * ((55 - message_len) % 64)
+    return padding + struct.pack("<Q", (message_len * 8) & 0xFFFFFFFFFFFFFFFF)
+
+
+def md5_digest(data: bytes) -> bytes:
+    """The 16-byte MD5 digest of ``data``."""
+    a0, b0, c0, d0 = _INIT
+    message = data + _pad(len(data))
+    for block_start in range(0, len(message), 64):
+        block = message[block_start:block_start + 64]
+        m = struct.unpack("<16I", block)
+        a, b, c, d = a0, b0, c0, d0
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | ~d)
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+            a, d, c = d, c, b
+            b = (b + _left_rotate(f, _SHIFTS[i])) & 0xFFFFFFFF
+        a0 = (a0 + a) & 0xFFFFFFFF
+        b0 = (b0 + b) & 0xFFFFFFFF
+        c0 = (c0 + c) & 0xFFFFFFFF
+        d0 = (d0 + d) & 0xFFFFFFFF
+    return struct.pack("<4I", a0, b0, c0, d0)
+
+
+def md5_hexdigest(data: bytes) -> str:
+    """The MD5 digest as a lowercase hex string."""
+    return md5_digest(data).hex()

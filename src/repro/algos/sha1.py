@@ -1,0 +1,50 @@
+"""SHA-1 (FIPS 180-4), implemented from the specification."""
+
+from __future__ import annotations
+
+import struct
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _pad(message_len: int) -> bytes:
+    padding = b"\x80" + b"\x00" * ((55 - message_len) % 64)
+    return padding + struct.pack(">Q", message_len * 8)
+
+
+def sha1_digest(data: bytes) -> bytes:
+    """The 20-byte SHA-1 digest of ``data``."""
+    h = list(_INIT)
+    message = data + _pad(len(data))
+    for block_start in range(0, len(message), 64):
+        w = list(struct.unpack(">16I", message[block_start:block_start + 64]))
+        for i in range(16, 80):
+            w.append(_left_rotate(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = h
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_left_rotate(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+            e, d, c, b, a = d, c, _left_rotate(b, 30), a, temp
+        h = [(x + y) & 0xFFFFFFFF for x, y in zip(h, (a, b, c, d, e))]
+    return struct.pack(">5I", *h)
+
+
+def sha1_hexdigest(data: bytes) -> str:
+    """The SHA-1 digest as a lowercase hex string."""
+    return sha1_digest(data).hex()

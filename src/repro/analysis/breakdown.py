@@ -1,0 +1,108 @@
+"""Latency and CPU breakdown containers.
+
+A :class:`LatencyTrace` rides along one request's critical path; every
+pipeline stage wraps itself in ``with trace.span(category):`` so the
+per-component latency decomposition of Figs 3a/11 falls out of the
+simulation rather than being asserted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from repro.units import to_usec
+
+
+class LatencyTrace:
+    """Per-request latency segments, by component category."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.segments: Dict[str, int] = defaultdict(int)
+        self.started_at = sim.now
+        self.finished_at: Optional[int] = None
+
+    @contextmanager
+    def span(self, category: str):
+        """Attribute the wall time spent inside the block to ``category``.
+
+        Safe to wrap around ``yield``-ing simulation code: only the
+        simulated clock is sampled.
+        """
+        start = self.sim.now
+        try:
+            yield
+        finally:
+            self.segments[category] += self.sim.now - start
+
+    def add(self, category: str, duration: int) -> None:
+        """Attribute ``duration`` ns directly."""
+        self.segments[category] += duration
+
+    def finish(self) -> None:
+        """Mark the request complete (records end-to-end latency)."""
+        self.finished_at = self.sim.now
+
+    @property
+    def total(self) -> int:
+        """End-to-end ns (requires :meth:`finish`), else sum of segments."""
+        if self.finished_at is not None:
+            return self.finished_at - self.started_at
+        return sum(self.segments.values())
+
+    @property
+    def total_us(self) -> float:
+        return to_usec(self.total)
+
+    def breakdown_us(self) -> Dict[str, float]:
+        """Segments in microseconds, sorted by decreasing share."""
+        items = sorted(self.segments.items(), key=lambda kv: -kv[1])
+        return {k: to_usec(v) for k, v in items}
+
+    def unattributed(self) -> int:
+        """End-to-end time not covered by any span (overlap-free only)."""
+        if self.finished_at is None:
+            return 0
+        return max(0, self.total - sum(self.segments.values()))
+
+
+class NullTrace:
+    """A trace that records nothing (for untraced requests)."""
+
+    @contextmanager
+    def span(self, category: str):
+        yield
+
+    def add(self, category: str, duration: int) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+NULL_TRACE = NullTrace()
+
+
+class CpuBreakdown:
+    """A normalized CPU-utilization decomposition for reports."""
+
+    def __init__(self, utilization_by_category: Dict[str, float],
+                 cores: int = 1):
+        self.by_category = dict(utilization_by_category)
+        self.cores = cores
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+    def normalized_to(self, reference_total: float) -> Dict[str, float]:
+        """Scale so that ``reference_total`` maps to 1.0 (paper's Fig 3b)."""
+        if reference_total <= 0:
+            raise ValueError("reference total must be positive")
+        return {k: v / reference_total for k, v in self.by_category.items()}
+
+    def core_equivalents(self) -> float:
+        """Busy time expressed in whole-core units."""
+        return self.total * self.cores

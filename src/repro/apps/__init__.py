@@ -1,0 +1,26 @@
+"""Scale-out storage applications (paper §V-C).
+
+* :mod:`repro.apps.workload` — the request generator: Poisson arrivals
+  with Dropbox-study object sizes and a PUT/GET mix [42];
+* :mod:`repro.apps.swift` — an OpenStack-Swift-like object server
+  (MD5 data integrity on both PUT and GET);
+* :mod:`repro.apps.hdfs` — an HDFS-balancer-like block mover (plain
+  read+send on the sender, CRC32 + store on the receiver).
+"""
+
+from repro.apps.workload import Request, RequestKind, WorkloadConfig, requests
+from repro.apps.swift import SwiftConfig, SwiftRun, run_swift
+from repro.apps.hdfs import HdfsConfig, HdfsRun, run_hdfs_balancer
+
+__all__ = [
+    "HdfsConfig",
+    "HdfsRun",
+    "Request",
+    "RequestKind",
+    "SwiftConfig",
+    "SwiftRun",
+    "WorkloadConfig",
+    "requests",
+    "run_hdfs_balancer",
+    "run_swift",
+]

@@ -1,0 +1,36 @@
+"""DCS-ctrl: the paper's contribution.
+
+* :mod:`repro.core.engine` — **HDC Engine**, the FPGA device
+  orchestrator: host interface (64-entry command queue, parser,
+  interrupt generator), scoreboard, standard device controllers for the
+  NVMe SSD and the 10-GbE NIC, NDP units, and the 1 GB DDR3
+  intermediate-buffer manager;
+* :mod:`repro.core.driver` — **HDC Driver**, the thin kernel module:
+  metadata lookup (extents, connections, page-cache consistency),
+  D2D command submission, interrupt handling;
+* :mod:`repro.core.library` — **HDC Library**, the sendfile-like user
+  API.
+"""
+
+from repro.core.command import (D2DCommand, D2DCompletion, D2DKind,
+                                DeviceCommand, EntryState)
+from repro.core.engine import HDCEngine
+from repro.core.driver import HdcDriver
+from repro.core.library import HdcLibrary
+from repro.core.ndp.registry import FUNC_NAMES, func_id, func_name
+from repro.core.scoreboard import Scoreboard
+
+__all__ = [
+    "D2DCommand",
+    "D2DCompletion",
+    "D2DKind",
+    "DeviceCommand",
+    "EntryState",
+    "FUNC_NAMES",
+    "HDCEngine",
+    "HdcDriver",
+    "HdcLibrary",
+    "Scoreboard",
+    "func_id",
+    "func_name",
+]

@@ -1,0 +1,18 @@
+"""Standard device controllers implemented in the HDC Engine's fabric.
+
+Each controller drives an *off-the-shelf* device through the device's
+native queue/doorbell protocol, with the rings resident in engine BRAM
+(paper §III-C / §IV-C) — no device modification, no host involvement.
+"""
+
+from repro.core.controllers.nvme_ctrl import EngineNvmeController
+from repro.core.controllers.nic_ctrl import EngineNicController
+from repro.core.controllers.dma_ctrl import EngineDmaController
+from repro.core.controllers.ndp_exec import NdpExecutor
+
+__all__ = [
+    "EngineDmaController",
+    "EngineNicController",
+    "EngineNvmeController",
+    "NdpExecutor",
+]

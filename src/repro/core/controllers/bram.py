@@ -1,0 +1,37 @@
+"""Watchable engine BRAM: on-chip writes that hardware FSMs can observe.
+
+When the NIC DMA-writes a status block that lives in engine BRAM, the
+FPGA logic watching that address reacts on the next cycle.  This
+wrapper gives a :class:`~repro.memory.region.MemoryRegion` exactly that
+behaviour: writes still store their bytes, and registered watchers
+covering the written range fire afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.memory.region import MemoryRegion
+
+
+class WatchableBram:
+    """Store-through write hook with address watchers."""
+
+    def __init__(self, region: MemoryRegion):
+        self.region = region
+        self._watchers: List[Tuple[int, int, Callable[[], None]]] = []
+        region.on_mmio_write = self._on_write
+
+    def watch(self, addr: int, length: int,
+              callback: Callable[[], None]) -> None:
+        """Fire ``callback`` whenever [addr, addr+length) is written."""
+        self._watchers.append((addr - self.region.base, length, callback))
+
+    def _on_write(self, offset: int, data: bytes) -> None:
+        # Store-through first: watchers read the new bytes.
+        backing = self.region._backing
+        backing[offset:offset + len(data)] = data
+        end = offset + len(data)
+        for w_off, w_len, callback in self._watchers:
+            if offset < w_off + w_len and w_off < end:
+                callback()

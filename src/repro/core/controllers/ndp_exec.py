@@ -1,0 +1,33 @@
+"""Scoreboard executor wrapping the NDP bank."""
+
+from __future__ import annotations
+
+from repro.core.command import DeviceCommand
+from repro.core.ndp.unit import NdpBank
+from repro.core.scoreboard import Executor
+from repro.pcie.switch import Fabric
+from repro.sim.kernel import Simulator
+
+
+class NdpExecutor(Executor):
+    """Runs ``dev="ndp"`` scoreboard entries on the NDP bank.
+
+    Entry mapping: ``src`` is the DDR3 buffer, ``length`` the input
+    size, ``aux`` the function id.  The entry's result is the packed
+    ``(digest, output_length)`` the engine's finalizer consumes.
+    """
+
+    slots = 4  # several streams can hash concurrently (instance count
+               # per function still bounds real parallelism)
+
+    def __init__(self, sim: Simulator, fabric: Fabric, bank: NdpBank):
+        self.sim = sim
+        self.fabric = fabric
+        self.bank = bank
+
+    def execute(self, entry: DeviceCommand):
+        """Process: run the NDP function; returns the NdpResult."""
+        result = yield self.sim.process(
+            self.bank.process(self.fabric, entry.aux, entry.src,
+                              entry.length))
+        return result

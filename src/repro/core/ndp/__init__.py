@@ -1,0 +1,28 @@
+"""Near-device processing units (paper §III-D, Table III)."""
+
+from repro.core.ndp.registry import (FUNC_AES256, FUNC_CRC32, FUNC_GZIP,
+                                     FUNC_MD5, FUNC_NAMES, FUNC_NONE,
+                                     FUNC_SHA1, FUNC_SHA256, func_id,
+                                     func_name)
+from repro.core.ndp.resources import (ENGINE_BASE_UTILIZATION, NDP_CORES,
+                                      NdpCoreSpec, Virtex7)
+from repro.core.ndp.unit import NdpBank, NdpUnit
+
+__all__ = [
+    "ENGINE_BASE_UTILIZATION",
+    "FUNC_AES256",
+    "FUNC_CRC32",
+    "FUNC_GZIP",
+    "FUNC_MD5",
+    "FUNC_NAMES",
+    "FUNC_NONE",
+    "FUNC_SHA1",
+    "FUNC_SHA256",
+    "NDP_CORES",
+    "NdpBank",
+    "NdpCoreSpec",
+    "NdpUnit",
+    "Virtex7",
+    "func_id",
+    "func_name",
+]

@@ -1,0 +1,42 @@
+"""NDP function identifiers shared by HDC Library, Driver and Engine."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+FUNC_NONE = 0
+FUNC_MD5 = 1
+FUNC_SHA1 = 2
+FUNC_SHA256 = 3
+FUNC_AES256 = 4
+FUNC_CRC32 = 5
+FUNC_GZIP = 6
+
+FUNC_NAMES = {
+    FUNC_NONE: "none",
+    FUNC_MD5: "md5",
+    FUNC_SHA1: "sha1",
+    FUNC_SHA256: "sha256",
+    FUNC_AES256: "aes256",
+    FUNC_CRC32: "crc32",
+    FUNC_GZIP: "gzip",
+}
+
+_BY_NAME = {name: fid for fid, name in FUNC_NAMES.items()}
+
+
+def func_id(name: str) -> int:
+    """The function id for a name ("md5" → FUNC_MD5)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown NDP function {name!r}; have {sorted(_BY_NAME)}") from None
+
+
+def func_name(fid: int) -> str:
+    """The name for a function id."""
+    try:
+        return FUNC_NAMES[fid]
+    except KeyError:
+        raise ConfigurationError(f"unknown NDP function id {fid}") from None

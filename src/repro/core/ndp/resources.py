@@ -1,0 +1,105 @@
+"""FPGA resource and throughput model (paper Tables III and IV).
+
+Table III gives, per IP core: LUT/register utilization, the highest
+clock that passes timing, the per-unit throughput, and — implicitly —
+how many instances the engine provisions to reach 10 Gbps aggregate.
+Table IV gives the base engine's utilization (device controllers, host
+interface).  These constants drive both the NDP timing model and the
+resource-report experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units import Rate, gbps
+
+
+@dataclass(frozen=True)
+class Virtex7:
+    """XC7VX485T (VC707) resource envelope."""
+
+    luts: int = 303_600
+    registers: int = 607_200
+    brams: int = 1_030
+
+
+VIRTEX7 = Virtex7()
+
+
+@dataclass(frozen=True)
+class NdpCoreSpec:
+    """One NDP IP core as synthesized (one row of Table III)."""
+
+    name: str
+    luts: int                   # for the instances needed to reach 10 Gbps
+    registers: int
+    max_clock_mhz: float
+    per_unit_rate: Rate         # single-stream throughput of one core
+    streaming: bool             # True if one stream can use many cores
+
+    def lut_fraction(self, fpga: Virtex7 = VIRTEX7) -> float:
+        return self.luts / fpga.luts
+
+    def register_fraction(self, fpga: Virtex7 = VIRTEX7) -> float:
+        return self.registers / fpga.registers
+
+    def units_for_10g(self) -> int:
+        """Instances provisioned for 10 Gbps aggregate."""
+        return max(1, round(10.0 / self.per_unit_rate.gbps()))
+
+
+# Table III, verbatim.  Hashes are chained per stream (non-pipelined
+# cores: one stream is stuck at the per-unit rate; aggregate scales by
+# instance count).  AES/CRC/GZIP stream a single flow at full rate.
+NDP_CORES: Dict[str, NdpCoreSpec] = {
+    "md5": NdpCoreSpec("md5", luts=8970, registers=4180,
+                       max_clock_mhz=130, per_unit_rate=gbps(0.97),
+                       streaming=False),
+    "sha1": NdpCoreSpec("sha1", luts=10760, registers=6848,
+                        max_clock_mhz=235, per_unit_rate=gbps(1.10),
+                        streaming=False),
+    "sha256": NdpCoreSpec("sha256", luts=13090, registers=7480,
+                          max_clock_mhz=130, per_unit_rate=gbps(0.80),
+                          streaming=False),
+    "aes256": NdpCoreSpec("aes256", luts=10689, registers=6000,
+                          max_clock_mhz=250, per_unit_rate=gbps(40.90),
+                          streaming=True),
+    "crc32": NdpCoreSpec("crc32", luts=93, registers=53,
+                         max_clock_mhz=250, per_unit_rate=gbps(10.0),
+                         streaming=True),
+    "gzip": NdpCoreSpec("gzip", luts=16273, registers=12718,
+                        max_clock_mhz=178, per_unit_rate=gbps(100.0),
+                        streaming=True),
+}
+
+
+@dataclass(frozen=True)
+class EngineUtilization:
+    """Table IV: the engine's base (controllers + host interface) usage."""
+
+    luts: int = 116_344
+    registers: int = 91_005
+    brams: int = 442
+    power_watts: float = 5.57
+
+    def lut_fraction(self, fpga: Virtex7 = VIRTEX7) -> float:
+        return self.luts / fpga.luts
+
+    def register_fraction(self, fpga: Virtex7 = VIRTEX7) -> float:
+        return self.registers / fpga.registers
+
+    def bram_fraction(self, fpga: Virtex7 = VIRTEX7) -> float:
+        return self.brams / fpga.brams
+
+    def fits_with_ndp(self, core_names: list[str],
+                      fpga: Virtex7 = VIRTEX7) -> bool:
+        """Do the base engine plus the named NDP banks fit the part?"""
+        luts = self.luts + sum(NDP_CORES[n].luts for n in core_names)
+        regs = self.registers + sum(NDP_CORES[n].registers
+                                    for n in core_names)
+        return luts <= fpga.luts and regs <= fpga.registers
+
+
+ENGINE_BASE_UTILIZATION = EngineUtilization()

@@ -1,0 +1,28 @@
+"""Device models: NVMe SSD, 10-GbE NIC, GPU.
+
+Each device is a :class:`~repro.devices.base.PcieDevice` attached to the
+fabric.  Devices are *controller-agnostic*: they speak their native
+queue/doorbell protocols against whatever memory their rings live in —
+host DRAM when the host kernel drives them, engine BRAM when the HDC
+Engine's standard device controllers drive them.  That symmetry is the
+paper's flexibility argument: the engine controls *off-the-shelf*
+devices with no device modifications.
+"""
+
+from repro.devices.base import PcieDevice
+from repro.devices.nvme.ssd import INTEL_750_400GB, NvmeSsd, SsdConfig
+from repro.devices.nic.nic import BCM57711, Nic, NicConfig
+from repro.devices.gpu.gpu import TESLA_K20M, Gpu, GpuConfig
+
+__all__ = [
+    "BCM57711",
+    "Gpu",
+    "GpuConfig",
+    "INTEL_750_400GB",
+    "Nic",
+    "NicConfig",
+    "NvmeSsd",
+    "PcieDevice",
+    "SsdConfig",
+    "TESLA_K20M",
+]

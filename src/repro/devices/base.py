@@ -1,0 +1,49 @@
+"""Base class for PCIe-attached device models."""
+
+from __future__ import annotations
+
+from repro.memory.region import MemoryRegion
+from repro.pcie.link import LinkConfig
+from repro.pcie.switch import Fabric
+from repro.sim.kernel import Simulator
+
+
+class PcieDevice:
+    """A device attached to one fabric port.
+
+    Subclasses register BAR windows with :meth:`add_region` and initiate
+    traffic through the thin DMA wrappers, which fix the initiator to
+    this device's port.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, name: str,
+                 link: LinkConfig):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        fabric.add_port(name, link)
+
+    def add_region(self, suffix: str, base: int, size: int,
+                   sparse: bool = False) -> MemoryRegion:
+        """Register an addressable window owned by this device."""
+        region = MemoryRegion(f"{self.name}-{suffix}", base=base, size=size,
+                              port=self.name, sparse=sparse)
+        return self.fabric.add_region(region)
+
+    # -- DMA wrappers (generators; drive with ``yield from``) -------------
+
+    def dma_read(self, addr: int, length: int):
+        """Read ``length`` bytes at ``addr`` as this device (timed)."""
+        return self.fabric.dma_read(self.name, addr, length)
+
+    def dma_write(self, addr: int, data: bytes):
+        """Write ``data`` at ``addr`` as this device (timed)."""
+        return self.fabric.dma_write(self.name, addr, data)
+
+    def mmio_write(self, addr: int, data: bytes):
+        """Small register write as this device (timed)."""
+        return self.fabric.mmio_write(self.name, addr, data)
+
+    def msi(self, vector: int = 0):
+        """Raise a message-signalled interrupt toward the host."""
+        return self.fabric.msi(self.name, vector=vector)

@@ -1,0 +1,5 @@
+"""GPU model: copy engine + kernel execution for checksum offload."""
+
+from repro.devices.gpu.gpu import TESLA_K20M, Gpu, GpuConfig, KernelSpec
+
+__all__ = ["Gpu", "GpuConfig", "KernelSpec", "TESLA_K20M"]

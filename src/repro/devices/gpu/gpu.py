@@ -1,0 +1,130 @@
+"""The GPU device model (Tesla K20m-class).
+
+The baselines in the paper use the GPU exactly one way: as a bump in
+the wire for intermediate processing — copy data in (or let a peer DMA
+it in, GPUDirect-style), launch a checksum/encryption kernel, copy the
+result out.  The model therefore provides a copy engine, a kernel
+execution engine with launch overhead, and a fabric-addressable device
+memory window (the GPUDirect/DirectGMA BAR) so that SSDs can P2P-DMA
+into GPU memory in the software-controlled-P2P scheme.
+
+Kernel *results* are computed functionally with the same from-scratch
+algorithm implementations the NDP units use (:mod:`repro.algos`), so a
+GPU-computed MD5 and an NDP-computed MD5 agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.algos import crc32_digest, md5_digest, sha1_digest, sha256_digest
+from repro.devices.base import PcieDevice
+from repro.errors import DeviceError
+from repro.pcie.link import LINK_GEN2_X16, LinkConfig
+from repro.pcie.switch import Fabric
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+from repro.units import MIB, Rate, gbps, usec
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One offload kernel: functional result + streaming throughput."""
+
+    name: str
+    fn: Callable[[bytes], bytes]
+    rate: Rate
+
+
+# Throughputs are single-stream effective rates on a K20m-class part:
+# hashing is latency-bound and far below peak FLOPs; CRC is table lookups.
+_KERNELS: Dict[str, KernelSpec] = {
+    "md5": KernelSpec("md5", md5_digest, gbps(20)),
+    "sha1": KernelSpec("sha1", sha1_digest, gbps(18)),
+    "sha256": KernelSpec("sha256", sha256_digest, gbps(14)),
+    "crc32": KernelSpec("crc32", crc32_digest, gbps(45)),
+}
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Static GPU parameters."""
+
+    model: str
+    link: LinkConfig
+    memory_bytes: int = 512 * MIB
+    launch_overhead: int = usec(7)   # device-side pipeline setup per launch
+    copy_engines: int = 2
+
+
+TESLA_K20M = GpuConfig(model="NVIDIA Tesla K20m", link=LINK_GEN2_X16)
+
+
+class Gpu(PcieDevice):
+    """A GPU with exposed device memory and checksum kernels."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, name: str,
+                 bar_base: int, config: GpuConfig = TESLA_K20M):
+        super().__init__(sim, fabric, name, config.link)
+        self.config = config
+        # The GPUDirect-exposed device memory window: peers may DMA here.
+        self.dram = self.add_region("dram", bar_base, config.memory_bytes,
+                                    sparse=True)
+        self._copy_engines = Resource(sim, capacity=config.copy_engines)
+        self._exec_engine = Resource(sim, capacity=1)
+        self.kernels_launched = 0
+
+    # -- memory helpers ------------------------------------------------------
+
+    def mem_addr(self, offset: int) -> int:
+        """Fabric address of ``offset`` within GPU memory."""
+        if not 0 <= offset < self.config.memory_bytes:
+            raise DeviceError(f"GPU memory offset {offset} out of range")
+        return self.dram.base + offset
+
+    # -- copy engine ----------------------------------------------------------
+
+    def copy_in(self, src_addr: int, gpu_offset: int, size: int):
+        """Process: H2D (or peer-to-device) copy via the GPU's DMA engine."""
+        with self._copy_engines.request() as engine:
+            yield engine
+            data = yield from self.dma_read(src_addr, size)
+            self.dram.write(self.mem_addr(gpu_offset), data)
+
+    def copy_out(self, gpu_offset: int, dst_addr: int, size: int):
+        """Process: D2H (or device-to-peer) copy via the GPU's DMA engine."""
+        with self._copy_engines.request() as engine:
+            yield engine
+            data = self.dram.read(self.mem_addr(gpu_offset), size)
+            yield from self.dma_write(dst_addr, data)
+
+    # -- kernels ---------------------------------------------------------------
+
+    @staticmethod
+    def kernel_names() -> list[str]:
+        """The offload kernels this model ships."""
+        return sorted(_KERNELS)
+
+    def launch(self, kernel: str, in_offset: int, size: int,
+               out_offset: int):
+        """Process: run ``kernel`` over GPU memory; returns the digest.
+
+        The digest is also written into GPU memory at ``out_offset`` so
+        baselines can D2H-copy it back the way real code does.
+        """
+        spec = _KERNELS.get(kernel)
+        if spec is None:
+            raise DeviceError(f"unknown GPU kernel {kernel!r}; "
+                              f"have {self.kernel_names()}")
+        if size <= 0:
+            raise DeviceError(f"kernel input size must be positive: {size}")
+        with self._exec_engine.request() as engine:
+            yield engine
+            yield self.sim.timeout(self.config.launch_overhead
+                                   + spec.rate.duration(size))
+            data = self.dram.read(self.mem_addr(in_offset), size)
+            digest = spec.fn(data)
+            self.dram.write(self.mem_addr(out_offset), digest)
+        self.kernels_launched += 1
+        return digest

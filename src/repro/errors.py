@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class AddressError(ReproError):
+    """An access touched an unmapped or out-of-bounds address."""
+
+
+class DeviceError(ReproError):
+    """A device model rejected a command or reached an illegal state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol-level violation (NVMe, NIC descriptor, TCP framing)."""
+
+
+class AllocationError(ReproError):
+    """A memory or buffer allocation could not be satisfied."""
+
+
+class ConfigurationError(ReproError):
+    """A scheme or experiment was configured inconsistently."""

@@ -1,0 +1,41 @@
+"""Run every reproduced table and figure and print the results.
+
+Usage::
+
+    python -m repro.experiments            # everything (few minutes)
+    python -m repro.experiments --fast     # skip the app-scale runs
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (run_fig11, run_fig12_hdfs, run_fig12_swift,
+                               run_fig13, run_fig13_validate, run_fig3,
+                               run_fig8, run_headline, run_sweep,
+                               run_table1, run_table3, run_table4)
+
+FAST = [("Table I", run_table1), ("Table III", run_table3),
+        ("Table IV", run_table4), ("Fig 3", run_fig3),
+        ("Fig 8", run_fig8), ("Fig 11", run_fig11),
+        ("Size sweep", run_sweep)]
+
+SLOW = [("Fig 12a", run_fig12_swift), ("Fig 12b", run_fig12_hdfs),
+        ("Fig 13", run_fig13), ("Fig 13 validated", run_fig13_validate),
+        ("Headline", run_headline)]
+
+
+def main(argv: list[str]) -> int:
+    fast_only = "--fast" in argv
+    runners = FAST if fast_only else FAST + SLOW
+    for label, runner in runners:
+        start = time.time()
+        result = runner()
+        print(result.render())
+        print(f"[{label} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

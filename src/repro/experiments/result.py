@@ -1,0 +1,36 @@
+"""The common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + headline metrics of one reproduced table/figure."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The paper-style text table plus notes and metrics."""
+        parts = [format_table(self.headers, self.rows, title=self.name)]
+        if self.metrics:
+            parts.append("")
+            parts.append("key metrics:")
+            for key, value in self.metrics.items():
+                parts.append(f"  {key} = {value:.3f}"
+                             if isinstance(value, float) else
+                             f"  {key} = {value}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,54 @@
+"""Transfer-size sweep: where does hardware device control pay off?
+
+Not a figure in the paper, but the natural question its Fig 11 raises:
+the software control overhead is (mostly) per-request, so its relative
+cost shrinks as transfers grow.  This sweep measures end-to-end
+SSD→MD5→NIC latency for each design across sizes and reports the
+DCS-ctrl advantage at every point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import measure_send, software_us
+from repro.experiments.result import ExperimentResult
+from repro.schemes import DcsCtrlScheme, SwOptScheme, SwP2pScheme
+from repro.units import KIB
+
+SIZES = (4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB)
+
+SCHEMES = (("sw-opt", SwOptScheme), ("sw-p2p", SwP2pScheme),
+           ("dcs-ctrl", DcsCtrlScheme))
+
+
+def run_sweep(processing: str = "md5") -> ExperimentResult:
+    result = ExperimentResult(
+        name=f"Size sweep: SSD->{processing}->NIC end-to-end latency (us)",
+        headers=["size KiB"] + [name for name, _ in SCHEMES]
+                + ["dcs total gain", "dcs software gain"])
+    gains = {}
+    for size in SIZES:
+        totals = {}
+        softwares = {}
+        for name, scheme_cls in SCHEMES:
+            sent = measure_send(scheme_cls, processing, size=size)
+            totals[name] = sent.latency_us
+            softwares[name] = software_us(sent)
+        total_gain = 1 - totals["dcs-ctrl"] / totals["sw-p2p"]
+        software_gain = 1 - softwares["dcs-ctrl"] / softwares["sw-p2p"]
+        gains[size] = (total_gain, software_gain)
+        result.add_row(size // KIB,
+                       *[f"{totals[name]:.1f}" for name, _ in SCHEMES],
+                       f"{total_gain * 100:.0f}%",
+                       f"{software_gain * 100:.0f}%")
+    result.metrics["total_gain_4k"] = gains[4 * KIB][0]
+    result.metrics["total_gain_256k"] = gains[256 * KIB][0]
+    result.metrics["software_gain_4k"] = gains[4 * KIB][1]
+    result.metrics["software_gain_256k"] = gains[256 * KIB][1]
+    result.notes.append(
+        "the software-latency gain persists across sizes; the total-"
+        "latency gain shrinks — and eventually inverts — as the engine's "
+        "per-command store-and-forward staging meets transfers large "
+        "enough for device time to dominate.  This is the reason the "
+        "paper evaluates large-transfer workloads by CPU utilization "
+        "and throughput (Figs 12/13) rather than single-request latency")
+    return result

@@ -1,0 +1,17 @@
+"""Host software substrate.
+
+Models the part of the system the paper is trying to get out of the
+way: CPU cores executing kernel code.  Every software stage consumes
+simulated CPU time in a labelled category via :class:`CpuPool`, which
+is where the CPU-utilization breakdowns (Figs 3b, 8, 12, 13) come from;
+the same stages sit on request critical paths, which is where the
+latency breakdowns (Figs 3a, 11) come from.
+
+All timing constants live in :mod:`repro.host.costs` (one table,
+documented per constant).
+"""
+
+from repro.host.cpu import CpuPool
+from repro.host.costs import CAT, DEFAULT_COSTS, SoftwareCosts
+
+__all__ = ["CAT", "CpuPool", "DEFAULT_COSTS", "SoftwareCosts"]

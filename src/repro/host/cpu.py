@@ -1,0 +1,52 @@
+"""CPU cores with per-category busy-time accounting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+from repro.sim.stats import BusyTracker
+
+
+class CpuPool:
+    """A pool of identical cores.
+
+    Software stages call :meth:`run` (a process) to consume CPU time:
+    the stage holds one core for ``cost`` ns and the time is accounted
+    to its category.  Contention between concurrent kernel paths falls
+    out of the core Resource being FIFO-fair.
+    """
+
+    def __init__(self, sim: Simulator, cores: int = 1,
+                 tracker: Optional[BusyTracker] = None):
+        if cores < 1:
+            raise ConfigurationError(f"need at least one core, got {cores}")
+        self.sim = sim
+        self.cores = cores
+        self.tracker = tracker if tracker is not None else BusyTracker(sim)
+        self._cores = Resource(sim, capacity=cores)
+
+    def run(self, cost: int, category: str):
+        """Process: execute ``cost`` ns of work accounted to ``category``."""
+        if cost < 0:
+            raise ConfigurationError(f"negative CPU cost: {cost}")
+        with self._cores.request() as core:
+            yield core
+            yield self.sim.timeout(cost)
+        self.tracker.add(category, cost)
+        return cost
+
+    def utilization(self, category: Optional[str] = None) -> float:
+        """Busy fraction over the tracker window, normalized per pool."""
+        return self.tracker.utilization(category, parallelism=self.cores)
+
+    def utilization_by_category(self) -> dict[str, float]:
+        """Per-category utilization over the tracker window."""
+        return self.tracker.utilization_by_category(parallelism=self.cores)
+
+    @property
+    def busy_now(self) -> int:
+        """Cores currently executing something."""
+        return self._cores.count

@@ -1,0 +1,7 @@
+"""Host-side device drivers (the software control path of the baselines)."""
+
+from repro.host.drivers.nvme_driver import HostNvmeDriver
+from repro.host.drivers.nic_driver import HostNicDriver
+from repro.host.drivers.gpu_driver import HostGpuDriver
+
+__all__ = ["HostGpuDriver", "HostNicDriver", "HostNvmeDriver"]

@@ -1,0 +1,148 @@
+"""The host NVMe driver: queue pairs in host DRAM, MSI completions.
+
+This is the software control path the paper measures against: every
+I/O pays command building and submission on a CPU (device control) and
+an interrupt + completion handling + wakeup on a CPU (request
+completion).  The driver attributes the in-between time — when only
+the device is working — to :data:`CAT.READ` / :data:`CAT.WRITE` on the
+request's latency trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.breakdown import NULL_TRACE
+from repro.devices.nvme.commands import (LBA_SIZE, NvmeCommand, OP_READ,
+                                         OP_WRITE, prp_fields, prp_pages)
+from repro.devices.nvme.ssd import NvmeSsd
+from repro.errors import DeviceError, ProtocolError
+from repro.host.cpu import CpuPool
+from repro.host.costs import CAT, SoftwareCosts
+from repro.host.kernel.interrupts import InterruptController
+from repro.pcie.switch import Fabric
+from repro.sim.kernel import Simulator
+from repro.units import PAGE
+
+
+class HostNvmeDriver:
+    """Submitter + interrupt-driven completer for one NVMe SSD."""
+
+    QUEUE_DEPTH = 256
+
+    def __init__(self, sim: Simulator, fabric: Fabric, cpu: CpuPool,
+                 costs: SoftwareCosts, ssd: NvmeSsd,
+                 irq: InterruptController, sq_addr: int, cq_addr: int,
+                 prp_pool_addr: int, qid: int = 1):
+        self.sim = sim
+        self.fabric = fabric
+        self.cpu = cpu
+        self.costs = costs
+        self.ssd = ssd
+        self.qp = ssd.create_io_queue(qid, sq_addr, cq_addr,
+                                      self.QUEUE_DEPTH, interrupt=True)
+        self._prp_pool_addr = prp_pool_addr
+        self._waiters: Dict[int, object] = {}  # cid -> Event
+        irq.register(ssd.name, vector=qid, handler=self._on_irq)
+        self._irq_busy = False
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_io(self, opcode: int, slba: int, nbytes: int, buf_addr: int,
+                  trace=NULL_TRACE):
+        """Process: submit one I/O and wait for its completion.
+
+        Returns the CQE.  CPU costs: block+NVMe submission (device
+        control); IRQ + CQ handling + wakeup (request completion).
+        """
+        if nbytes % LBA_SIZE:
+            raise ProtocolError(f"I/O of {nbytes} bytes is not block-sized")
+        cid = self.qp.allocate_cid()
+        with trace.span(CAT.DEVICE_CONTROL):
+            yield from self.cpu.run(
+                self.costs.block_submit + self.costs.nvme_submit,
+                CAT.DEVICE_CONTROL)
+            pages = prp_pages(buf_addr, nbytes)
+            prp1, prp2, blob = prp_fields(pages)
+            if blob:
+                list_addr = self._prp_list_slot(cid)
+                self.fabric.address_map.write(list_addr, blob)
+                prp2 = list_addr
+            command = NvmeCommand(opcode=opcode, cid=cid, nsid=1,
+                                  prp1=prp1, prp2=prp2, slba=slba,
+                                  nlb=nbytes // LBA_SIZE - 1)
+            self.qp.push(command)
+            yield from self.qp.ring_sq("host")
+        waiter = self.sim.event()
+        self._waiters[cid] = waiter
+        submit_done = self.sim.now
+        cqe, irq_at = yield waiter
+        device_cat = CAT.READ if opcode == OP_READ else CAT.WRITE
+        trace.add(device_cat, irq_at - submit_done)
+        trace.add(CAT.COMPLETION, self.sim.now - irq_at)
+        with trace.span(CAT.COMPLETION):
+            # The waiting context reschedules after the IRQ wakeup.
+            yield from self.cpu.run(self.costs.context_switch, CAT.COMPLETION)
+        if not cqe.ok:
+            raise DeviceError(
+                f"NVMe I/O failed with status {cqe.status} "
+                f"(opcode {opcode}, slba {slba}, {nbytes} bytes)")
+        return cqe
+
+    def _split_io(self, opcode: int, slba: int, nbytes: int, buf_addr: int,
+                  trace):
+        """Process: split an I/O at the device's MDTS and pipeline the
+        pieces (the block layer splits bios the same way)."""
+        mdts = self.ssd.config.max_transfer
+        if nbytes <= mdts:
+            return (yield from self.submit_io(opcode, slba, nbytes,
+                                              buf_addr, trace))
+        parts = []
+        offset = 0
+        while offset < nbytes:
+            chunk = min(mdts, nbytes - offset)
+            parts.append(self.sim.process(self.submit_io(
+                opcode, slba + offset // LBA_SIZE, chunk, buf_addr + offset,
+                trace)))
+            offset += chunk
+        last = None
+        for part in parts:
+            last = yield part
+        return last
+
+    def read(self, slba: int, nbytes: int, buf_addr: int, trace=NULL_TRACE):
+        """Process: read blocks into ``buf_addr``; returns the last CQE."""
+        return self._split_io(OP_READ, slba, nbytes, buf_addr, trace)
+
+    def write(self, slba: int, nbytes: int, buf_addr: int, trace=NULL_TRACE):
+        """Process: write blocks from ``buf_addr``; returns the last CQE."""
+        return self._split_io(OP_WRITE, slba, nbytes, buf_addr, trace)
+
+    def _prp_list_slot(self, cid: int) -> int:
+        """A per-command scratch page for PRP lists."""
+        return self._prp_pool_addr + (cid % self.QUEUE_DEPTH) * PAGE
+
+    # -- completion ------------------------------------------------------------
+
+    def _on_irq(self) -> None:
+        if self._irq_busy:
+            return  # handler already draining; it will pick the CQE up
+        self._irq_busy = True
+        self.sim.process(self._irq_handler(self.sim.now))
+
+    def _irq_handler(self, irq_at: int):
+        yield from self.cpu.run(self.costs.interrupt_entry, CAT.COMPLETION)
+        drained_any = True
+        while drained_any:
+            drained_any = False
+            while (cqe := self.qp.poll_completion()) is not None:
+                drained_any = True
+                yield from self.cpu.run(self.costs.nvme_complete,
+                                        CAT.COMPLETION)
+                yield from self.qp.ring_cq("host")
+                waiter = self._waiters.pop(cqe.cid, None)
+                if waiter is None:
+                    raise DeviceError(
+                        f"completion for unknown cid {cqe.cid}")
+                waiter.succeed((cqe, irq_at))
+        self._irq_busy = False

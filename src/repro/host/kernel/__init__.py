@@ -1,0 +1,22 @@
+"""The mini OS kernel: VFS/extent FS, page cache, sockets, interrupts.
+
+Composable, *timed* kernel services used by the scheme implementations.
+Every stage charges CPU time through the host's
+:class:`~repro.host.cpu.CpuPool` under the category scheme of
+:class:`~repro.host.costs.CAT`.
+"""
+
+from repro.host.kernel.filesystem import (ExtentFilesystem, FileExtent,
+                                          MultiVolumeFs)
+from repro.host.kernel.page_cache import PageCache
+from repro.host.kernel.interrupts import InterruptController
+from repro.host.kernel.kernel import HostKernel
+
+__all__ = [
+    "ExtentFilesystem",
+    "FileExtent",
+    "HostKernel",
+    "InterruptController",
+    "MultiVolumeFs",
+    "PageCache",
+]

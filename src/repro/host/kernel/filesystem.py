@@ -1,0 +1,178 @@
+"""An extent-based file system over the NVMe namespace.
+
+Maps file names to runs of logical blocks so every design — the host
+kernel's read path and the HDC Driver's metadata lookup (paper §IV-B:
+"interacts with the existing kernel file system ... to find necessary
+metadata such as block addresses") — resolves the same file to the same
+LBAs.  Allocation is a simple append-only extent allocator; the paper's
+experiments never fragment or delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.devices.nvme.commands import LBA_SIZE
+from repro.devices.nvme.ssd import NvmeSsd
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FileExtent:
+    """A contiguous run of blocks belonging to a file."""
+
+    slba: int
+    nblocks: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.nblocks * LBA_SIZE
+
+
+class ExtentFilesystem:
+    """Name → extents mapping plus block allocation."""
+
+    def __init__(self, capacity_blocks: int, first_lba: int = 64):
+        self._files: Dict[str, List[FileExtent]] = {}
+        self._sizes: Dict[str, int] = {}
+        self._cursor = first_lba
+        self._capacity_blocks = capacity_blocks
+
+    def create(self, name: str, size: int) -> List[FileExtent]:
+        """Allocate blocks for a new file of ``size`` bytes."""
+        if name in self._files:
+            raise ConfigurationError(f"file {name!r} already exists")
+        if size <= 0:
+            raise ConfigurationError(f"file size must be positive: {size}")
+        nblocks = -(-size // LBA_SIZE)
+        if self._cursor + nblocks > self._capacity_blocks:
+            raise ConfigurationError("filesystem out of space")
+        extent = FileExtent(slba=self._cursor, nblocks=nblocks)
+        self._cursor += nblocks
+        self._files[name] = [extent]
+        self._sizes[name] = size
+        return [extent]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size_of(self, name: str) -> int:
+        """Logical file size in bytes."""
+        return self._sizes[self._lookup_name(name)]
+
+    def extents_for(self, name: str, offset: int,
+                    length: int) -> List[FileExtent]:
+        """The extents covering [offset, offset+length) of ``name``.
+
+        Offsets must be block-aligned — both the paper's direct-I/O
+        path and the HDC Driver operate on whole blocks.
+        """
+        self._lookup_name(name)
+        if offset % LBA_SIZE:
+            raise ConfigurationError(
+                f"offset {offset} is not block-aligned")
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive: {length}")
+        if offset + length > self._sizes[name] + (-self._sizes[name] % LBA_SIZE):
+            raise ConfigurationError(
+                f"range [{offset}, {offset + length}) beyond file of "
+                f"{self._sizes[name]} bytes")
+        spans: List[FileExtent] = []
+        skip = offset // LBA_SIZE
+        want = -(-length // LBA_SIZE)
+        for extent in self._files[name]:
+            if skip >= extent.nblocks:
+                skip -= extent.nblocks
+                continue
+            take = min(extent.nblocks - skip, want)
+            spans.append(FileExtent(slba=extent.slba + skip, nblocks=take))
+            want -= take
+            skip = 0
+            if want == 0:
+                break
+        return spans
+
+    def _lookup_name(self, name: str) -> str:
+        if name not in self._files:
+            raise ConfigurationError(f"no such file {name!r}")
+        return name
+
+    # -- test/benchmark setup ------------------------------------------------
+
+    def install(self, ssd: NvmeSsd, name: str, data: bytes) -> None:
+        """Create ``name`` with ``data`` written straight to flash.
+
+        Functional setup only (no timing) — the experiments pre-populate
+        storage the way the paper's testbed pre-loads its datasets.
+        """
+        extents = self.create(name, len(data))
+        padded = data + bytes(-len(data) % LBA_SIZE)
+        offset = 0
+        for extent in extents:
+            chunk = padded[offset:offset + extent.nbytes]
+            ssd.flash.write_blocks(extent.slba, chunk)
+            offset += extent.nbytes
+
+
+class MultiVolumeFs:
+    """One file namespace over several SSD volumes.
+
+    The paper's Fig 13 setup mounts six NVMe SSDs per node; each volume
+    keeps its own extent allocator, and files are placed round-robin
+    (or explicitly) across volumes.  Single-volume hosts see the same
+    API, so nothing upstack cares how many SSDs exist.
+    """
+
+    def __init__(self, ssds: List[NvmeSsd]):
+        if not ssds:
+            raise ConfigurationError("need at least one SSD volume")
+        self.ssds = list(ssds)
+        self.volumes = [ExtentFilesystem(ssd.flash.capacity_blocks)
+                        for ssd in ssds]
+        self._volume_of: Dict[str, int] = {}
+        self._next = 0
+
+    def create(self, name: str, size: int,
+               volume: int | None = None) -> List[FileExtent]:
+        """Allocate a new file on ``volume`` (round-robin by default)."""
+        if name in self._volume_of:
+            raise ConfigurationError(f"file {name!r} already exists")
+        if volume is None:
+            volume = self._next
+            self._next = (self._next + 1) % len(self.volumes)
+        extents = self.volumes[volume].create(name, size)
+        self._volume_of[name] = volume
+        return extents
+
+    def exists(self, name: str) -> bool:
+        return name in self._volume_of
+
+    def volume_of(self, name: str) -> int:
+        """Which SSD volume holds ``name``."""
+        try:
+            return self._volume_of[name]
+        except KeyError:
+            raise ConfigurationError(f"no such file {name!r}") from None
+
+    def size_of(self, name: str) -> int:
+        return self.volumes[self.volume_of(name)].size_of(name)
+
+    def extents_for(self, name: str, offset: int,
+                    length: int) -> List[FileExtent]:
+        return self.volumes[self.volume_of(name)].extents_for(
+            name, offset, length)
+
+    def install(self, name: str, data: bytes,
+                volume: int | None = None) -> None:
+        """Create + write a file straight to its volume's flash."""
+        if volume is not None:
+            volume %= len(self.volumes)
+        self.create(name, len(data), volume=volume)
+        vol = self.volume_of(name)
+        padded = data + bytes(-len(data) % LBA_SIZE)
+        offset = 0
+        for extent in self.volumes[vol].extents_for(name, 0, len(data)):
+            chunk = padded[offset:offset + extent.nbytes]
+            self.ssds[vol].flash.write_blocks(extent.slba, chunk)
+            offset += extent.nbytes

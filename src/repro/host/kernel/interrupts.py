@@ -1,0 +1,38 @@
+"""Interrupt delivery from the fabric to driver handlers.
+
+The fabric delivers MSIs as ``(source_port, vector)``; the controller
+dispatches to whichever driver registered that pair.  Handler CPU cost
+(IRQ prologue, handler body, wakeup) is charged by the drivers
+themselves so it lands in the right accounting category.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.pcie.switch import Fabric
+
+
+class InterruptController:
+    """Routes MSIs raised on the fabric to registered handlers."""
+
+    def __init__(self, fabric: Fabric, host_port: str = "host"):
+        self._handlers: Dict[Tuple[str, int], Callable[[], None]] = {}
+        self.spurious = 0
+        fabric.register_msi_handler(host_port, self._dispatch)
+
+    def register(self, source_port: str, vector: int,
+                 handler: Callable[[], None]) -> None:
+        """Bind (device port, vector) to a zero-argument handler."""
+        key = (source_port, vector)
+        if key in self._handlers:
+            raise ConfigurationError(f"IRQ {key} already registered")
+        self._handlers[key] = handler
+
+    def _dispatch(self, source_port: str, vector: int) -> None:
+        handler = self._handlers.get((source_port, vector))
+        if handler is None:
+            self.spurious += 1
+            return
+        handler()

@@ -1,0 +1,22 @@
+"""Memory substrate: byte-backed regions, DRAM timing, chunk allocation.
+
+Every addressable byte in the simulated server lives in a
+:class:`MemoryRegion` — host DRAM, the HDC Engine's BRAM queue pairs and
+its 1 GB DDR3 intermediate buffers, NVMe controller registers, NIC
+descriptor rings.  Regions are *functional*: data written is data read,
+so checksums computed by NDP units are checksums of the real bytes that
+flowed through the fabric.
+"""
+
+from repro.memory.region import MemoryRegion, SparseBytes
+from repro.memory.dram import DramTiming, FPGA_DDR3, HOST_DDR4
+from repro.memory.allocator import ChunkAllocator
+
+__all__ = [
+    "ChunkAllocator",
+    "DramTiming",
+    "FPGA_DDR3",
+    "HOST_DDR4",
+    "MemoryRegion",
+    "SparseBytes",
+]

@@ -1,0 +1,38 @@
+"""DRAM timing models for host memory and the engine's on-board DDR3.
+
+These constants feed two costs:
+
+* CPU memcpy work in the host software model (indirect data copies in
+  the host-centric baseline);
+* NDP units streaming through the HDC Engine's intermediate buffers
+  (the VC707 carries 1 GB of DDR3-1600, §IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import Rate, gibps, nsec
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Bandwidth/latency pair for a memory technology."""
+
+    name: str
+    bandwidth: Rate
+    access_latency: int  # ns for the first beat
+
+    def duration(self, size: int) -> int:
+        """Time (ns) to stream ``size`` bytes, including first-beat latency."""
+        return self.access_latency + self.bandwidth.duration(size)
+
+
+# Host: dual-channel DDR4-2133-class memory on the Xeon E5-2630 v3 host.
+HOST_DDR4 = DramTiming("host-ddr4", bandwidth=gibps(25.0),
+                       access_latency=nsec(90))
+
+# VC707 on-board SODIMM: single-channel DDR3-1600 (PC3-12800, ~12.8 GB/s
+# peak; ~80 % achievable through the MIG controller).
+FPGA_DDR3 = DramTiming("fpga-ddr3", bandwidth=gibps(10.0),
+                       access_latency=nsec(120))

@@ -1,0 +1,138 @@
+"""Byte-backed memory regions and sparse backing storage."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import AddressError
+
+
+class SparseBytes:
+    """A lazily allocated, zero-filled byte store.
+
+    Large simulated memories (a 400 GB flash array, 1 GB of FPGA DDR3)
+    would be absurd to allocate eagerly; this class stores only the
+    pages actually touched.
+    """
+
+    PAGE = 4096
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._pages: Dict[int, bytearray] = {}
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise AddressError(
+                f"access [{offset}, {offset + length}) outside store of "
+                f"size {self.size}")
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (zeroes if never written)."""
+        self._check(offset, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page_no, page_off = divmod(offset + pos, self.PAGE)
+            take = min(self.PAGE - page_off, length - pos)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos:pos + take] = page[page_off:page_off + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``."""
+        self._check(offset, len(data))
+        pos = 0
+        while pos < len(data):
+            page_no, page_off = divmod(offset + pos, self.PAGE)
+            take = min(self.PAGE - page_off, len(data) - pos)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(self.PAGE)
+                self._pages[page_no] = page
+            page[page_off:page_off + take] = data[pos:pos + take]
+            pos += take
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of real memory currently backing the store."""
+        return len(self._pages) * self.PAGE
+
+
+MmioWriteHook = Callable[[int, bytes], None]
+MmioReadHook = Callable[[int, int], bytes]
+
+
+class MemoryRegion:
+    """A contiguous window of the simulated physical address space.
+
+    A region belongs to exactly one fabric *port* (the device whose
+    memory it is); the PCIe layer uses that to route DMA.  Regions may
+    be plain storage (DRAM, BRAM) or MMIO register windows: setting
+    :attr:`on_mmio_write` turns writes into device callbacks (doorbells).
+    """
+
+    def __init__(self, name: str, base: int, size: int, port: str,
+                 sparse: bool = False, access_latency: int = 0):
+        if base < 0 or size <= 0:
+            raise AddressError(f"bad region geometry: base={base} size={size}")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.port = port
+        # First-access latency behind the target's port: DRAM row access
+        # and (for host memory) root-complex traversal.  On-chip BRAM
+        # windows keep the default 0.
+        self.access_latency = access_latency
+        self._backing = SparseBytes(size) if sparse else bytearray(size)
+        self._sparse = sparse
+        self.on_mmio_write: Optional[MmioWriteHook] = None
+        self.on_mmio_read: Optional[MmioReadHook] = None
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        """True if [addr, addr+length) falls inside the region."""
+        return self.base <= addr and addr + length <= self.end
+
+    def _offset(self, addr: int, length: int) -> int:
+        if not self.contains(addr, length):
+            raise AddressError(
+                f"access [{hex(addr)}, {hex(addr + length)}) outside region "
+                f"{self.name} [{hex(self.base)}, {hex(self.end)})")
+        return addr - self.base
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Functional read of ``length`` bytes at absolute address ``addr``."""
+        off = self._offset(addr, length)
+        if self.on_mmio_read is not None:
+            return self.on_mmio_read(off, length)
+        if self._sparse:
+            return self._backing.read(off, length)
+        return bytes(self._backing[off:off + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Functional write of ``data`` at absolute address ``addr``.
+
+        MMIO hooks fire *instead of* storing when installed — register
+        windows have device semantics, not memory semantics.
+        """
+        off = self._offset(addr, len(data))
+        if self.on_mmio_write is not None:
+            self.on_mmio_write(off, bytes(data))
+            return
+        if self._sparse:
+            self._backing.write(off, data)
+        else:
+            self._backing[off:off + len(data)] = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryRegion({self.name!r}, base={hex(self.base)}, "
+                f"size={self.size}, port={self.port!r})")

@@ -1,0 +1,122 @@
+"""A lightweight established-TCP-connection abstraction.
+
+The paper's experiments all run over pre-established TCP connections
+(Swift REST transfers, HDFS balancer streams); connection setup is in
+neither the latency nor the CPU breakdowns.  :class:`TcpFlow` therefore
+models an *established* connection: per-direction sequence tracking,
+in-order delivery and payload reassembly — enough for the engine's NIC
+controller to "identify a target connection and destination location"
+(paper §III-C) from parsed headers, and for receivers to detect losses
+or reordering as protocol errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.net.headers import EthernetHeader, TcpHeader
+from repro.net.packet import Frame
+
+
+@dataclass(frozen=True)
+class TcpEndpoint:
+    """One side of a connection."""
+
+    mac: str
+    ip: str
+    port: int
+
+
+class TcpFlow:
+    """An established TCP connection between two endpoints.
+
+    The *local* side sends with :meth:`next_header`; incoming frames
+    are matched with :meth:`matches` and accepted in order with
+    :meth:`accept`.
+    """
+
+    def __init__(self, local: TcpEndpoint, remote: TcpEndpoint,
+                 initial_seq: int = 1, initial_ack: int = 1):
+        self.local = local
+        self.remote = remote
+        self.snd_nxt = initial_seq   # next sequence number we will send
+        self.rcv_nxt = initial_ack   # next sequence number we expect
+
+    # -- transmit ---------------------------------------------------------
+
+    def eth_header(self) -> EthernetHeader:
+        """The Ethernet header for outgoing frames."""
+        return EthernetHeader(dst_mac=self.remote.mac, src_mac=self.local.mac)
+
+    def next_header(self, payload_len: int) -> TcpHeader:
+        """TCP header for the next ``payload_len`` bytes; advances snd_nxt."""
+        if payload_len < 0:
+            raise ProtocolError(f"negative payload length: {payload_len}")
+        header = TcpHeader(src_port=self.local.port, dst_port=self.remote.port,
+                           seq=self.snd_nxt, ack=self.rcv_nxt)
+        self.snd_nxt += payload_len
+        return header
+
+    # -- receive ----------------------------------------------------------
+
+    def matches(self, frame: Frame) -> bool:
+        """Does this frame belong to this connection (remote→local)?"""
+        return (frame.ip.src_ip == self.remote.ip
+                and frame.ip.dst_ip == self.local.ip
+                and frame.tcp.src_port == self.remote.port
+                and frame.tcp.dst_port == self.local.port)
+
+    def accept(self, frame: Frame) -> bytes:
+        """Accept an in-order frame; returns its payload.
+
+        Raises :class:`ProtocolError` on a sequence gap or overlap —
+        the simulated wire never reorders, so a gap means a model bug.
+        """
+        if not self.matches(frame):
+            raise ProtocolError(
+                f"frame for {frame.ip.dst_ip}:{frame.tcp.dst_port} delivered "
+                f"to flow {self.local.ip}:{self.local.port}")
+        if frame.tcp.seq != self.rcv_nxt:
+            raise ProtocolError(
+                f"out-of-order segment: expected seq {self.rcv_nxt}, "
+                f"got {frame.tcp.seq}")
+        self.rcv_nxt += len(frame.payload)
+        return frame.payload
+
+    def reverse(self) -> "TcpFlow":
+        """The same connection as seen from the remote side."""
+        flow = TcpFlow(local=self.remote, remote=self.local,
+                       initial_seq=self.rcv_nxt, initial_ack=self.snd_nxt)
+        return flow
+
+
+@dataclass
+class FlowTable:
+    """Connection lookup by (remote ip, remote port, local port).
+
+    Both the host kernel's socket layer and the engine's NIC controller
+    keep one of these; the engine's copy is what lets it steer received
+    payloads to the right destination buffers without the CPU.
+    """
+
+    _flows: dict[tuple[str, int, int], TcpFlow] = field(default_factory=dict)
+
+    def add(self, flow: TcpFlow) -> None:
+        key = (flow.remote.ip, flow.remote.port, flow.local.port)
+        if key in self._flows:
+            raise ProtocolError(f"duplicate flow {key}")
+        self._flows[key] = flow
+
+    def lookup(self, frame: Frame) -> Optional[TcpFlow]:
+        """Find the flow a received frame belongs to (None if unknown)."""
+        key = (frame.ip.src_ip, frame.tcp.src_port, frame.tcp.dst_port)
+        return self._flows.get(key)
+
+    def remove(self, flow: TcpFlow) -> None:
+        key = (flow.remote.ip, flow.remote.port, flow.local.port)
+        self._flows.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,66 @@
+"""The physical wire between two NICs.
+
+Serialization at line rate plus propagation; frames are delivered in
+order to the remote NIC's ingress queue.  The wire is where the 10 Gbps
+(or, for Fig 13 projections, 40 Gbps) bottleneck physically lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import wire_bytes
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource, Store
+from repro.units import Rate, gbps, usec
+
+
+class Wire:
+    """A full-duplex point-to-point Ethernet link."""
+
+    def __init__(self, sim: Simulator, rate: Optional[Rate] = None,
+                 propagation: int = usec(2)):
+        self.sim = sim
+        self.rate = rate if rate is not None else gbps(10)
+        self.propagation = propagation
+        self._tx: Dict[str, Resource] = {}
+        self._ingress: Dict[str, Store] = {}
+
+    def attach(self, name: str) -> Store:
+        """Attach an endpoint; returns its ingress frame queue."""
+        if name in self._ingress:
+            raise SimulationError(f"endpoint {name!r} already attached")
+        if len(self._ingress) >= 2:
+            raise SimulationError("a Wire is point-to-point (two endpoints)")
+        self._tx[name] = Resource(self.sim, capacity=1)
+        self._ingress[name] = Store(self.sim)
+        return self._ingress[name]
+
+    def _peer(self, name: str) -> str:
+        others = [n for n in self._ingress if n != name]
+        if name not in self._ingress or not others:
+            raise SimulationError(
+                f"endpoint {name!r} not attached or peer missing")
+        return others[0]
+
+    def transmit(self, sender: str, frame: bytes):
+        """Process: serialize ``frame`` and deliver it to the peer.
+
+        Holds the sender's TX direction for the serialization time of
+        the frame *plus* preamble/FCS/IFG overhead, which is exactly
+        what caps effective TCP goodput below line rate.
+        """
+        peer = self._peer(sender)
+        with self._tx[sender].request() as req:
+            yield req
+            yield self.sim.timeout(self.rate.duration(wire_bytes(len(frame))))
+        # Propagation pipelines with the next frame's serialization, so
+        # delivery runs as its own process.  Order is preserved: delivery
+        # processes are spawned in serialization order and wait the same
+        # propagation delay onto a FIFO store.
+        self.sim.process(self._deliver(peer, frame))
+
+    def _deliver(self, peer: str, frame: bytes):
+        yield self.sim.timeout(self.propagation)
+        yield self._ingress[peer].put(frame)

@@ -1,0 +1,69 @@
+"""Point-to-point PCIe link model.
+
+A link connects one port (device or root complex) to the switch.  Each
+direction is a FIFO :class:`~repro.sim.resources.Resource`: a transfer
+holds the direction for its serialization time, so concurrent transfers
+on the same link share bandwidth by queueing — the same first-order
+behaviour as credit-based flow control at full load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+from repro.units import Rate
+from repro.pcie.transaction import tlp_efficiency
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static link parameters.
+
+    ``raw_per_lane`` is the post-line-coding data rate per lane per
+    direction (Gen2 = 5 GT/s with 8b/10b → 500 MB/s/lane).
+    """
+
+    name: str
+    lanes: int
+    raw_per_lane_mbytes: float
+
+    def effective_rate(self) -> Rate:
+        """Payload bandwidth per direction after TLP overhead."""
+        raw = self.lanes * self.raw_per_lane_mbytes * 1e6
+        return Rate(raw * tlp_efficiency())
+
+
+LINK_GEN2_X4 = LinkConfig("gen2-x4", lanes=4, raw_per_lane_mbytes=500.0)
+LINK_GEN2_X8 = LinkConfig("gen2-x8", lanes=8, raw_per_lane_mbytes=500.0)
+LINK_GEN2_X16 = LinkConfig("gen2-x16", lanes=16, raw_per_lane_mbytes=500.0)
+
+
+class PcieLink:
+    """A full-duplex link with FIFO per-direction occupancy."""
+
+    def __init__(self, sim: Simulator, config: LinkConfig):
+        self.sim = sim
+        self.config = config
+        self.rate = config.effective_rate()
+        # Direction names follow the device's point of view.
+        self.tx = Resource(sim, capacity=1)  # device -> switch
+        self.rx = Resource(sim, capacity=1)  # switch -> device
+
+    def serialization(self, size: int) -> int:
+        """Time (ns) to clock ``size`` payload bytes through one direction."""
+        return self.rate.duration(size)
+
+    def occupy_tx(self, size: int):
+        """Process: hold the TX direction for ``size`` bytes' worth of time."""
+        return self._occupy(self.tx, size)
+
+    def occupy_rx(self, size: int):
+        """Process: hold the RX direction for ``size`` bytes' worth of time."""
+        return self._occupy(self.rx, size)
+
+    def _occupy(self, direction: Resource, size: int):
+        with direction.request() as req:
+            yield req
+            yield self.sim.timeout(self.serialization(size))

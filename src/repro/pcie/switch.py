@@ -1,0 +1,216 @@
+"""The switched PCIe fabric: ports, routing, timed+functional DMA.
+
+:class:`Fabric` is the one object every device model talks to.  It owns
+the :class:`~repro.pcie.address.AddressMap` and one
+:class:`~repro.pcie.link.PcieLink` per port, and exposes generator
+methods (to be driven with ``yield from`` inside simulation processes):
+
+* :meth:`dma_write` / :meth:`dma_read` — bulk data, routed by target
+  address.  Peer-to-peer transfers (initiator and owner both devices)
+  never touch the host port — this is the data-path property the whole
+  paper builds on.
+* :meth:`mmio_write` / :meth:`mmio_read` — small register transactions
+  (doorbells); writes trigger a region's MMIO hook.
+* :meth:`msi` — message-signalled interrupt delivery to a registered
+  handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.errors import SimulationError
+from repro.memory.region import MemoryRegion
+from repro.pcie.address import AddressMap
+from repro.pcie.link import LinkConfig, PcieLink
+from repro.pcie.transaction import (DOORBELL_WRITE_NS, HOP_FORWARD_NS,
+                                    MSI_LATENCY_NS, READ_REQUEST_NS)
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class PortStats:
+    """Byte counters per port (for utilization reports)."""
+
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    doorbells: int = 0
+    interrupts: int = 0
+
+
+@dataclass
+class _Port:
+    name: str
+    link: PcieLink
+    stats: PortStats = field(default_factory=PortStats)
+
+
+class Fabric:
+    """A single-switch PCIe fabric with address-routed DMA."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.address_map = AddressMap()
+        self._ports: Dict[str, _Port] = {}
+        self._msi_handlers: Dict[str, Callable[[str, int], None]] = {}
+        self.p2p_bytes = 0       # device<->device traffic (never sees host)
+        self.host_bytes = 0      # traffic with the host port on one end
+
+    # -- topology construction -------------------------------------------
+
+    def add_port(self, name: str, link_config: LinkConfig) -> None:
+        """Attach a device (or the root complex) to the switch."""
+        if name in self._ports:
+            raise SimulationError(f"duplicate port {name!r}")
+        self._ports[name] = _Port(name, PcieLink(self.sim, link_config))
+
+    def add_region(self, region: MemoryRegion) -> MemoryRegion:
+        """Register an addressable window owned by one of the ports."""
+        if region.port not in self._ports:
+            raise SimulationError(
+                f"region {region.name} owned by unknown port {region.port!r}")
+        return self.address_map.add(region)
+
+    def port_names(self) -> list[str]:
+        """All attached port names."""
+        return list(self._ports)
+
+    def stats(self, port: str) -> PortStats:
+        """Byte/doorbell counters for one port."""
+        return self._port(port).stats
+
+    def _port(self, name: str) -> _Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise SimulationError(f"unknown port {name!r}") from None
+
+    # -- interrupts --------------------------------------------------------
+
+    def register_msi_handler(self, port: str,
+                             handler: Callable[[str, int], None]) -> None:
+        """Install the interrupt sink for ``port`` (normally ``host``)."""
+        self._port(port)  # validate
+        self._msi_handlers[port] = handler
+
+    # -- transactions ------------------------------------------------------
+
+    def dma_write(self, initiator: str, addr: int, data: bytes):
+        """Process: move ``data`` from ``initiator`` into the region at ``addr``.
+
+        Timing: the initiator's TX and the owner's RX are held for the
+        serialization time (bottleneck link dominates via sequential
+        holds), plus two switch hops.  Functional: the bytes land in the
+        target region (or fire its MMIO hook).
+        """
+        region = self.address_map.resolve(addr, len(data))
+        src = self._port(initiator)
+        if region.port == initiator:
+            # Device-local access never crosses the fabric.
+            region.write(addr, data)
+            return len(data)
+        dst = self._port(region.port)
+        yield self.sim.timeout(2 * HOP_FORWARD_NS + region.access_latency)
+        yield from self._occupy_path(src.link, dst.link, len(data))
+        region.write(addr, data)
+        self._account(src, dst, len(data))
+        return len(data)
+
+    def dma_read(self, initiator: str, addr: int, length: int):
+        """Process: fetch ``length`` bytes at ``addr`` into ``initiator``.
+
+        Returns the bytes read.  Timing: non-posted read request to the
+        owner, then completion data clocked owner→switch→initiator.
+        """
+        region = self.address_map.resolve(addr, length)
+        dst = self._port(initiator)
+        if region.port == initiator:
+            return region.read(addr, length)
+        src = self._port(region.port)
+        yield self.sim.timeout(READ_REQUEST_NS + 2 * HOP_FORWARD_NS
+                               + region.access_latency)
+        yield from self._occupy_path(src.link, dst.link, length)
+        data = region.read(addr, length)
+        self._account(src, dst, length)
+        return data
+
+    def _occupy_path(self, src_link, dst_link, size: int):
+        """Hold src TX and dst RX concurrently; the transfer lasts the
+        bottleneck link's serialization time, but each direction is
+        *held* only for its own time — a fast port trickle-receiving
+        from a slow sender still has capacity for other peers, which is
+        how switched PCIe behaves (TLPs from different sources
+        interleave).
+
+        The two directions are acquired in a single global order (object
+        identity), so transfers contending for overlapping link pairs
+        can never hold-and-wait in a cycle (no deadlock).
+        """
+        src_dur = src_link.serialization(size)
+        dst_dur = dst_link.serialization(size)
+        first, second = (src_link.tx, src_dur), (dst_link.rx, dst_dur)
+        if id(second[0]) < id(first[0]):
+            first, second = second, first
+        req_a = first[0].request()
+        yield req_a
+        req_b = second[0].request()
+        yield req_b
+        # Release each direction after its own serialization time; the
+        # transfer as a whole completes with the slower one.
+        short, long = sorted((first, second), key=lambda pair: pair[1])
+        held = {first[0]: req_a, second[0]: req_b}
+        yield self.sim.timeout(short[1])
+        short[0].release(held[short[0]])
+        yield self.sim.timeout(long[1] - short[1])
+        long[0].release(held[long[0]])
+
+    def mmio_write(self, initiator: str, addr: int, data: bytes):
+        """Process: a small posted register write (doorbell-class).
+
+        Fires the target region's MMIO hook after the posted-write
+        latency.  Does not contend the bulk links (negligible payload).
+        """
+        region = self.address_map.resolve(addr, len(data))
+        self._port(initiator).stats.doorbells += 1
+        if region.port != initiator:
+            yield self.sim.timeout(DOORBELL_WRITE_NS)
+        region.write(addr, data)
+
+    def mmio_read(self, initiator: str, addr: int, length: int):
+        """Process: a small non-posted register read; returns the bytes."""
+        region = self.address_map.resolve(addr, length)
+        if region.port != initiator:
+            # Round trip: request out, completion back.
+            yield self.sim.timeout(READ_REQUEST_NS + DOORBELL_WRITE_NS)
+        return region.read(addr, length)
+
+    def msi(self, initiator: str, target_port: str = "host", vector: int = 0):
+        """Process: deliver a message-signalled interrupt."""
+        handler = self._msi_handlers.get(target_port)
+        if handler is None:
+            raise SimulationError(
+                f"no MSI handler registered on port {target_port!r}")
+        self._port(initiator).stats.interrupts += 1
+        yield self.sim.timeout(MSI_LATENCY_NS)
+        handler(initiator, vector)
+
+    # -- accounting --------------------------------------------------------
+
+    def _account(self, src: _Port, dst: _Port, size: int) -> None:
+        src.stats.tx_bytes += size
+        dst.stats.rx_bytes += size
+        if "host" in (src.name, dst.name):
+            self.host_bytes += size
+        else:
+            self.p2p_bytes += size
+
+    # -- functional back door (no timing; for setup and assertions) -------
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write bytes with no timing — test/setup helper."""
+        self.address_map.write(addr, data)
+
+    def peek(self, addr: int, length: int) -> bytes:
+        """Read bytes with no timing — test/setup helper."""
+        return self.address_map.read(addr, length)

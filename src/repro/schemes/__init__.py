@@ -1,0 +1,39 @@
+"""The four evaluated designs (Table I) over a common two-node testbed.
+
+* :class:`SwOptScheme` — host-centric with optimized software (direct
+  I/O, zero-copy sendfile-style paths, LSO);
+* :class:`SwP2pScheme` — the same software with peer-to-peer data
+  paths where the devices allow them (SSD→GPU via the GPU's exposed
+  memory window); control stays on the CPU;
+* :class:`IntegratedScheme` — a device-integration reference
+  (QuickSAN/BlueDBM-style): hardware data+control path, but fixed
+  function (modeled as DCS-ctrl without the flexibility, for Fig 3);
+* :class:`DcsCtrlScheme` — DCS-ctrl: HDC Library → HDC Driver → HDC
+  Engine.
+"""
+
+from repro.schemes.testbed import Connection, Testbed
+from repro.schemes.base import Scheme, TransferResult
+from repro.schemes.sw_opt import SwOptScheme
+from repro.schemes.sw_p2p import SwP2pScheme
+from repro.schemes.integrated import IntegratedScheme
+from repro.schemes.dcs_ctrl import DcsCtrlScheme
+
+ALL_SCHEMES = {
+    "sw-opt": SwOptScheme,
+    "sw-p2p": SwP2pScheme,
+    "integrated": IntegratedScheme,
+    "dcs-ctrl": DcsCtrlScheme,
+}
+
+__all__ = [
+    "ALL_SCHEMES",
+    "Connection",
+    "DcsCtrlScheme",
+    "IntegratedScheme",
+    "Scheme",
+    "SwOptScheme",
+    "SwP2pScheme",
+    "Testbed",
+    "TransferResult",
+]

@@ -1,0 +1,106 @@
+"""Baseline 1 — *Software optimization* (paper §V-A).
+
+"The baseline system which uses the optimized software to minimize
+latency and CPU utilization, but all data transfer go through CPU
+memory."  Concretely: direct I/O (no page cache), kernel-resident
+zero-copy buffers (no user/kernel data copies), LSO on the NIC — the
+optimizations of [9], [16], [17], [19], [21], [26] — with the GPU as
+the checksum accelerator, reached through classic driver-managed
+copies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.schemes.base import Scheme, TransferResult
+from repro.schemes.testbed import Connection, Node
+
+class SwOptScheme(Scheme):
+    """Host-centric, software-optimized (data staged in host DRAM)."""
+
+    name = "sw-opt"
+
+    def send_file(self, node: Node, conn: Connection, name: str,
+                  offset: int, size: int, processing: Optional[str] = None,
+                  trace=None):
+        self._check_processing(processing)
+        trace = self._trace(trace)
+        kernel = node.host.kernel
+        buf = node.host.alloc_buffer(size)
+        try:
+            # read(2): one user/kernel round trip.
+            yield from kernel.syscall_enter(trace)
+            yield from kernel.file_read_direct(name, offset, size, buf, trace)
+            yield from kernel.syscall_exit(trace)
+            digest = b""
+            if processing is not None:
+                digest = yield from self._gpu_checksum_host_data(
+                    node, buf, size, processing, trace)
+            # send(2): a second round trip.
+            yield from kernel.syscall_enter(trace)
+            yield from kernel.socket_send(conn.flow0 if node is self.tb.node0
+                                          else conn.flow1, buf, size, trace)
+            yield from kernel.syscall_exit(trace)
+        finally:
+            node.host.free_buffer(buf, size)
+        trace.finish()
+        return TransferResult(bytes_moved=size, digest=digest, trace=trace)
+
+    def receive_to_file(self, node: Node, conn: Connection, name: str,
+                        offset: int, size: int,
+                        processing: Optional[str] = None, trace=None):
+        self._check_processing(processing)
+        trace = self._trace(trace)
+        kernel = node.host.kernel
+        buf = node.host.alloc_buffer(size)
+        try:
+            # recv(2).
+            yield from kernel.syscall_enter(trace)
+            flow = conn.flow1 if node is self.tb.node1 else conn.flow0
+            yield from kernel.socket_recv(flow, size, buf, trace)
+            yield from kernel.syscall_exit(trace)
+            digest = b""
+            if processing is not None:
+                digest = yield from self._gpu_checksum_host_data(
+                    node, buf, size, processing, trace)
+            # write(2).
+            yield from kernel.syscall_enter(trace)
+            yield from kernel.file_write_direct(name, offset, size, buf,
+                                                trace)
+            yield from kernel.syscall_exit(trace)
+        finally:
+            node.host.free_buffer(buf, size)
+        trace.finish()
+        return TransferResult(bytes_moved=size, digest=digest, trace=trace)
+
+    # -- the classic GPU offload path -------------------------------------------
+
+    def _gpu_checksum_host_data(self, node: Node, buf: int, size: int,
+                                kind: str, trace):
+        """Process: H2D copy, kernel, D2H digest fetch (paper Fig 3/11)."""
+        gpu_driver = node.host.gpu_driver
+        if gpu_driver is None:
+            raise ConfigurationError("node built without a GPU")
+        # Per-request GPU staging: digest slot at the region base, data
+        # one page in.
+        region_size = size + 4096
+        chunks = node.host.gpu_mem.chunks_for(region_size)
+        region = (node.host.gpu_mem.alloc() if chunks == 1
+                  else node.host.gpu_mem.alloc_contiguous(chunks))
+        data_off = region + 4096
+        try:
+            yield from gpu_driver.copy_to_gpu(buf, data_off, size, trace)
+            digest = yield from gpu_driver.checksum(kind, data_off, size,
+                                                    region, trace)
+            # Fetch the checksum result into CPU memory (paper §V-B).
+            digest_buf = node.host.alloc_buffer(len(digest))
+            try:
+                yield from gpu_driver.copy_from_gpu(region, digest_buf,
+                                                    len(digest), trace)
+            finally:
+                node.host.free_buffer(digest_buf, len(digest))
+        finally:
+            node.host.gpu_mem.free(region, chunks)
+        return digest

@@ -1,0 +1,175 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on by
+``yield``-ing it.  Events move through three stages:
+
+* *pending* — created, not yet triggered;
+* *triggered* — given a value (or an exception) and placed on the event
+  queue;
+* *processed* — the kernel has run its callbacks and resumed any waiting
+  processes.
+
+Composites :class:`AllOf` / :class:`AnyOf` wait on several events at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Simulator
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events are created via :meth:`Simulator.event` (or subclasses) and
+    triggered with :meth:`succeed` or :meth:`fail`.  A triggered event is
+    scheduled on the simulator's queue; its callbacks run when the kernel
+    reaches it.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given an outcome."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises the failure exception if it failed."""
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._enqueue(0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = None
+        self._exception = exception
+        self.sim._enqueue(0, self)
+        return self
+
+    # -- kernel hook -----------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._scheduled_value = value
+        sim._enqueue(delay, self)
+
+    def _run_callbacks(self) -> None:
+        # A timeout only counts as triggered once it actually fires.
+        self._value = self._scheduled_value
+        super()._run_callbacks()
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        for event in self.events:
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+        if not self.triggered and self._check():
+            self.succeed(self._collect())
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # propagate the first failure
+            return
+        if self._check():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e.ok}
+
+    def _check(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* component events have succeeded.
+
+    Its value is a dict mapping each component event to its value.
+    """
+
+    def _check(self) -> bool:
+        return all(e.triggered and e.ok for e in self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* component event has succeeded.
+
+    Its value is a dict of the component events that had already
+    succeeded at trigger time.
+    """
+
+    def _check(self) -> bool:
+        if not self.events:
+            return True
+        return any(e.triggered and e.ok for e in self.events)

@@ -1,0 +1,184 @@
+"""The simulation event loop and generator-based processes.
+
+:class:`Simulator` owns integer simulated time and a binary-heap event
+queue.  :class:`Process` wraps a Python generator: the generator yields
+:class:`~repro.sim.events.Event` objects to wait on, receives each
+event's value back from ``yield``, and its ``return`` value becomes the
+process's own event value (a :class:`Process` is itself an event, so
+processes can wait on each other).
+
+Determinism: events scheduled for the same tick are processed in exact
+scheduling order (a monotonically increasing sequence number breaks heap
+ties), so identical inputs always produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an :class:`Event` that triggers when the
+    generator finishes: it succeeds with the generator's return value,
+    or fails with any exception the generator let escape.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator as soon as the loop starts.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process yielded {target!r}; processes may only yield Events")
+            # Deliver the error into the generator so it can't silently hang.
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as inner:
+                self.fail(inner)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded an event from another simulator"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already concluded: resume on a fresh tick to preserve ordering.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target._exception is not None:
+                relay.fail(target._exception)
+            else:
+                relay.succeed(target._value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The only state is the current time (:attr:`now`, integer ns) and a
+    heap of ``(time, sequence, event)`` entries.  All model components
+    hold a reference to their simulator and create events through it.
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._sequence: int = 0
+        self._active: bool = False
+
+    # -- event construction ---------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event that some model will trigger later."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that triggers once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that triggers once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- queue ----------------------------------------------------------
+
+    def _enqueue(self, delay: int, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> Optional[int]:
+        """Time of the next queued event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event (advancing time to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = when
+        event._run_callbacks()
+
+    # -- run loops --------------------------------------------------------
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until the event queue drains.
+        * ``until=<int>`` — run until simulated time reaches that tick.
+        * ``until=<Event>`` — run until that event has been processed and
+          return its value (raising if it failed).
+        """
+        if self._active:
+            raise SimulationError("run() is not reentrant")
+        self._active = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                while not until.processed:
+                    if not self._heap:
+                        raise SimulationError(
+                            "simulation deadlocked: queue drained before the "
+                            "awaited event triggered")
+                    self.step()
+                return until.value
+            if isinstance(until, int):
+                if until < self.now:
+                    raise SimulationError(
+                        f"cannot run until {until}: already at {self.now}")
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                self.now = until
+                return None
+            raise SimulationError(f"bad 'until' argument: {until!r}")
+        finally:
+            self._active = False

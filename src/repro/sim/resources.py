@@ -1,0 +1,161 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` — a counted resource (e.g. a CPU core pool slot or a
+  DMA channel): processes ``yield resource.request()`` and later call
+  ``resource.release(req)``; requests are granted strictly FIFO.
+* :class:`Store` — an unbounded-or-bounded FIFO channel of items, the
+  basic building block for queues between hardware blocks.
+* :class:`PriorityStore` — a store whose ``get`` returns the smallest
+  item first (items must be orderable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager so that ``with resource.request() as req:
+    yield req`` releases on exit even if the process body raises.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted, FIFO-fair resource with ``capacity`` concurrent users."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim the resource; the returned event triggers when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity and not self._waiting:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Release a previously granted (or still-waiting) request."""
+        if req in self._users:
+            self._users.remove(req)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(req)
+            except ValueError:
+                raise SimulationError("release() of a request not held or queued")
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A FIFO channel of items between processes.
+
+    ``put(item)`` returns an event that triggers once the item is
+    accepted (immediately unless the store is full); ``get()`` returns
+    an event that triggers with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True if a put() right now would have to wait."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Offer an item; the event triggers once the store accepts it."""
+        event = Event(self.sim)
+        if self.is_full:
+            self._putters.append((event, item))
+        else:
+            self._insert(item)
+            event.succeed()
+            self._wake_getters()
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; the event triggers with that item."""
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._wake_getters()
+        return event
+
+    def _insert(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _extract(self) -> Any:
+        return self._items.popleft()
+
+    def _wake_getters(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            getter.succeed(self._extract())
+            # A slot opened: admit a blocked putter, if any.
+            while self._putters and not self.is_full:
+                putter, item = self._putters.popleft()
+                self._insert(item)
+                putter.succeed()
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the smallest item first."""
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self._items, item)  # type: ignore[arg-type]
+
+    def _extract(self) -> Any:
+        return heapq.heappop(self._items)  # type: ignore[arg-type]
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        super().__init__(sim, capacity)
+        self._items = []  # type: ignore[assignment]

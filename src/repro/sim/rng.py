@@ -1,0 +1,82 @@
+"""Deterministic random streams and the workload distributions.
+
+Every source of randomness in an experiment draws from a named stream of
+a single :class:`RngHub`, so that (a) runs are reproducible given a seed
+and (b) changing how one component consumes randomness does not perturb
+the others.
+
+The file-size distribution follows the paper's workload methodology
+(Drago et al., IMC 2012 — the Dropbox study): personal-cloud-storage
+transfers are dominated by small files with a heavy tail, which we model
+as the log-normal body + bounded tail in :func:`dropbox_file_sizes`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from bisect import bisect_right
+from itertools import accumulate
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.units import KIB, MIB, SEC
+
+
+class RngHub:
+    """A factory of independent, reproducible random streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def stream(self, name: str) -> random.Random:
+        """A :class:`random.Random` unique to (seed, name)."""
+        digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def exponential_interarrivals(rng: random.Random, rate_per_sec: float) -> Iterator[int]:
+    """Poisson-process inter-arrival gaps in ns, forever."""
+    if rate_per_sec <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_per_sec}")
+    while True:
+        yield max(1, round(rng.expovariate(rate_per_sec) * SEC))
+
+
+def empirical(rng: random.Random,
+              points: Sequence[Tuple[float, int]]) -> Iterator[int]:
+    """Sample forever from a weighted discrete distribution.
+
+    ``points`` is a sequence of ``(weight, value)`` pairs; weights need
+    not sum to one.
+    """
+    if not points:
+        raise ValueError("empirical distribution needs at least one point")
+    weights = [w for w, _ in points]
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("weights must be non-negative and sum to > 0")
+    values = [v for _, v in points]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    while True:
+        pick = rng.random() * total
+        yield values[bisect_right(cumulative, pick)]
+
+
+# Buckets approximating the Dropbox-study transfer-size distribution
+# (Drago et al. [42]): mass concentrated below 1 MB with a tail of
+# multi-megabyte objects.  (weight, size-in-bytes)
+DROPBOX_SIZE_BUCKETS: List[Tuple[float, int]] = [
+    (0.28, 4 * KIB),
+    (0.22, 16 * KIB),
+    (0.18, 64 * KIB),
+    (0.14, 256 * KIB),
+    (0.10, 1 * MIB),
+    (0.05, 4 * MIB),
+    (0.02, 16 * MIB),
+    (0.01, 64 * MIB),
+]
+
+
+def dropbox_file_sizes(rng: random.Random) -> Iterator[int]:
+    """Object sizes (bytes) following the Dropbox-like bucket mix."""
+    return empirical(rng, DROPBOX_SIZE_BUCKETS)

@@ -1,0 +1,169 @@
+"""Measurement helpers: busy-time accounting, histograms, throughput.
+
+The evaluation in the paper reports three kinds of numbers and these
+classes are their direct sources:
+
+* **latency breakdowns** (Figs 3a, 11) — :class:`BusyTracker` with one
+  category per software/hardware component;
+* **CPU-utilization breakdowns** (Figs 3b, 8, 12) — :class:`BusyTracker`
+  attached to CPU cores, normalised over a measurement window;
+* **throughput** (Fig 13) — :class:`Meter`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class BusyTracker:
+    """Accumulates busy time per named category.
+
+    Components call :meth:`add` with an explicit duration (the usual
+    case: a CPU model that just consumed ``cost`` ns doing "filesystem"
+    work), and experiments read totals or utilizations over a window.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._busy: Dict[str, int] = defaultdict(int)
+        self._window_start: int = 0
+
+    def add(self, category: str, duration: int) -> None:
+        """Account ``duration`` ns of busy time to ``category``."""
+        if duration < 0:
+            raise SimulationError(f"negative busy duration: {duration}")
+        self._busy[category] += duration
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current time."""
+        self._busy.clear()
+        self._window_start = self.sim.now
+
+    def total(self, category: Optional[str] = None) -> int:
+        """Total busy ns for one category, or across all categories."""
+        if category is not None:
+            return self._busy.get(category, 0)
+        return sum(self._busy.values())
+
+    def by_category(self) -> Dict[str, int]:
+        """Busy ns per category (a copy)."""
+        return dict(self._busy)
+
+    def window(self) -> int:
+        """Elapsed ns since the window started."""
+        return self.sim.now - self._window_start
+
+    def utilization(self, category: Optional[str] = None,
+                    parallelism: int = 1) -> float:
+        """Busy fraction of the window, spread over ``parallelism`` units.
+
+        For a 4-core CPU pool pass ``parallelism=4`` so that the result
+        is the familiar "fraction of the whole CPU" number.
+        """
+        elapsed = self.window()
+        if elapsed <= 0:
+            return 0.0
+        return self.total(category) / (elapsed * parallelism)
+
+    def utilization_by_category(self, parallelism: int = 1) -> Dict[str, float]:
+        """Per-category utilization over the current window."""
+        elapsed = self.window()
+        if elapsed <= 0:
+            return {k: 0.0 for k in self._busy}
+        return {k: v / (elapsed * parallelism) for k, v in self._busy.items()}
+
+
+class Histogram:
+    """A simple sample collector with summary statistics."""
+
+    def __init__(self):
+        self._samples: List[float] = []
+
+    def add(self, sample: float) -> None:
+        """Record one sample."""
+        self._samples.append(sample)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Record many samples."""
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def stdev(self) -> float:
+        """Population standard deviation; 0.0 for fewer than 2 samples."""
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / n)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        if not self._samples:
+            raise SimulationError("percentile() of an empty histogram")
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def min(self) -> float:
+        if not self._samples:
+            raise SimulationError("min() of an empty histogram")
+        return min(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise SimulationError("max() of an empty histogram")
+        return max(self._samples)
+
+
+class Meter:
+    """Counts bytes (or any unit) to derive throughput over a window."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._count: int = 0
+        self._window_start: int = 0
+
+    def add(self, amount: int) -> None:
+        """Record ``amount`` units moved."""
+        if amount < 0:
+            raise SimulationError(f"negative meter amount: {amount}")
+        self._count += amount
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current time."""
+        self._count = 0
+        self._window_start = self.sim.now
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def rate_per_sec(self) -> float:
+        """Units per simulated second over the current window."""
+        elapsed = self.sim.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self._count * 1e9 / elapsed
+
+    def gbps(self) -> float:
+        """Throughput in Gbps, interpreting units as bytes."""
+        return self.rate_per_sec() * 8 / 1e9

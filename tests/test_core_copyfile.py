@@ -1,0 +1,94 @@
+"""Tests for the SSD→SSD local D2D extension (hdc_copyfile)."""
+
+import hashlib
+
+import pytest
+
+from repro.algos import aes256_ctr, lz77_decompress
+from repro.core.ndp.unit import _AES_KEY, _AES_NONCE
+from repro.host.costs import CAT
+from repro.schemes import Testbed
+from repro.units import KIB
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return Testbed(seed=71)
+
+
+def _read_file(host, name, nbytes):
+    ext = host.fs.extents_for(name, 0, nbytes)
+    return host.ssd.flash.read_blocks(ext[0].slba, ext[0].nblocks)[:nbytes]
+
+
+def _copy(tb, src, dst, size, func="none"):
+    lib = tb.node0.library
+    src_fd = lib.open_file(src)
+    dst_fd = lib.open_file(dst, writable=True)
+
+    def body(sim):
+        return (yield from lib.hdc_copyfile(dst_fd, src_fd, 0, 0, size,
+                                            func=func))
+
+    return tb.sim.run(until=tb.sim.process(body(tb.sim)))
+
+
+class TestCopyfile:
+    def test_plain_copy_moves_bytes(self, tb):
+        data = bytes((i * 3) % 256 for i in range(32 * KIB))
+        tb.node0.host.install_file("cp-src.dat", data)
+        tb.node0.host.install_file("cp-dst.dat", bytes(len(data)))
+        _copy(tb, "cp-src.dat", "cp-dst.dat", len(data))
+        assert _read_file(tb.node0.host, "cp-dst.dat", len(data)) == data
+
+    def test_copy_with_md5_reports_digest(self, tb):
+        data = b"copy integrity" * 1000
+        tb.node0.host.install_file("cp2-src.dat", data)
+        tb.node0.host.install_file("cp2-dst.dat", bytes(len(data)))
+        completion = _copy(tb, "cp2-src.dat", "cp2-dst.dat", len(data),
+                           func="md5")
+        assert completion.digest == hashlib.md5(data).digest()
+
+    def test_encrypt_at_rest(self, tb):
+        data = b"encrypt me at rest " * 500
+        tb.node0.host.install_file("enc-src.dat", data)
+        tb.node0.host.install_file("enc-dst.dat", bytes(len(data)))
+        _copy(tb, "enc-src.dat", "enc-dst.dat", len(data), func="aes256")
+        stored = _read_file(tb.node0.host, "enc-dst.dat", len(data))
+        assert stored != data
+        assert aes256_ctr(stored, _AES_KEY, _AES_NONCE) == data
+
+    def test_compress_at_rest(self, tb):
+        data = b"compressible block content " * 2000
+        tb.node0.host.install_file("gz-src.dat", data)
+        tb.node0.host.install_file("gz-dst.dat", bytes(len(data)))
+        completion = _copy(tb, "gz-src.dat", "gz-dst.dat", len(data),
+                           func="gzip")
+        assert completion.result_length < len(data)
+        blob = _read_file(tb.node0.host, "gz-dst.dat",
+                          completion.result_length)
+        assert lz77_decompress(blob) == data
+
+    def test_copy_never_touches_host_memory(self, tb):
+        data = bytes(64 * KIB)
+        tb.node0.host.install_file("p2p-src.dat", data)
+        tb.node0.host.install_file("p2p-dst.dat", bytes(len(data)))
+        fabric = tb.node0.host.fabric
+        before_host = fabric.host_bytes
+        before_p2p = fabric.p2p_bytes
+        _copy(tb, "p2p-src.dat", "p2p-dst.dat", len(data))
+        assert fabric.p2p_bytes - before_p2p >= 2 * len(data)  # in + out
+        assert fabric.host_bytes - before_host < 4 * KIB  # cmd + completion
+
+    def test_copy_cpu_is_driver_only(self, tb):
+        data = bytes(64 * KIB)
+        tb.node0.host.install_file("cpu-src.dat", data)
+        tb.node0.host.install_file("cpu-dst.dat", bytes(len(data)))
+        tb.node0.host.cpu.tracker.reset_window()
+        _copy(tb, "cpu-src.dat", "cpu-dst.dat", len(data))
+        tracker = tb.node0.host.cpu.tracker
+        assert tracker.total(CAT.DATA_COPY) == 0
+        assert tracker.total(CAT.NETWORK) == 0
+        assert tracker.total(CAT.HDC_DRIVER) > 0
+        # The whole host cost of a 64 KiB device-local copy is a few us.
+        assert tracker.total() < 12_000

@@ -1,0 +1,274 @@
+"""Tests for D2D command formats and the scoreboard scheduler."""
+
+import pytest
+
+from repro.core.command import (D2DCommand, D2DCompletion, D2DKind,
+                                DeviceCommand, EntryState)
+from repro.core.scoreboard import Executor, Scoreboard
+from repro.errors import ConfigurationError, DeviceError, ProtocolError
+from repro.sim import Simulator
+from repro.units import usec
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCommandFormats:
+    def test_d2d_command_roundtrip(self):
+        cmd = D2DCommand(d2d_id=7, kind=D2DKind.SSD_TO_NIC, src=1000,
+                         dst=3, length=65536, func=1, flags=1, aux=42)
+        raw = cmd.pack()
+        assert len(raw) == 64
+        assert D2DCommand.unpack(raw) == cmd
+
+    def test_zero_length_rejected(self):
+        cmd = D2DCommand(d2d_id=1, kind=D2DKind.SSD_TO_NIC, src=0, dst=0,
+                         length=0)
+        with pytest.raises(ProtocolError):
+            cmd.pack()
+
+    def test_completion_roundtrip(self):
+        cpl = D2DCompletion(d2d_id=9, status=0, digest=b"0123456789abcdef",
+                            result_length=4096)
+        raw = cpl.pack()
+        assert len(raw) == 64
+        parsed = D2DCompletion.unpack(raw)
+        assert parsed == cpl
+        assert parsed.ok
+
+    def test_completion_holds_sha256_digest(self):
+        cpl = D2DCompletion(d2d_id=1, status=0, digest=bytes(range(32)))
+        assert D2DCompletion.unpack(cpl.pack()).digest == bytes(range(32))
+
+    def test_completion_short_digest(self):
+        cpl = D2DCompletion(d2d_id=1, status=0, digest=b"\x01\x02\x03\x04")
+        assert D2DCompletion.unpack(cpl.pack()).digest == b"\x01\x02\x03\x04"
+
+    def test_oversized_digest_rejected(self):
+        with pytest.raises(ProtocolError):
+            D2DCompletion(d2d_id=1, status=0, digest=b"x" * 33).pack()
+
+
+class FakeExecutor(Executor):
+    """Runs entries for a fixed duration, recording the order."""
+
+    def __init__(self, sim, duration, log, slots=1):
+        self.sim = sim
+        self.duration = duration
+        self.log = log
+        self.slots = slots
+
+    def execute(self, entry):
+        self.log.append(("start", entry.dev, entry.src, self.sim.now))
+        yield self.sim.timeout(self.duration)
+        self.log.append(("end", entry.dev, entry.src, self.sim.now))
+        return b"result-%d" % entry.src
+
+
+def _noop_finalize(d2d_id):
+    def finalize(task):
+        return D2DCompletion(d2d_id=d2d_id, status=0)
+    return finalize
+
+
+class TestScoreboard:
+    def test_single_entry_completes(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("dev", FakeExecutor(sim, usec(1), log))
+        entry = DeviceCommand(dev="dev", rw="r", src=1, dst=2, length=10)
+
+        def body(sim):
+            yield from board.admit(1, [entry], _noop_finalize(1))
+            cpl = yield board.completions.get()
+            return cpl
+
+        cpl = sim.run(until=sim.process(body(sim)))
+        assert cpl.d2d_id == 1
+        assert entry.state == EntryState.DONE
+        assert entry.result == b"result-1"
+
+    def test_dependency_chain_serializes(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("a", FakeExecutor(sim, usec(2), log))
+        board.register_executor("b", FakeExecutor(sim, usec(2), log))
+        first = DeviceCommand(dev="a", rw="r", src=1, dst=0, length=1)
+        second = DeviceCommand(dev="b", rw="w", src=2, dst=0, length=1,
+                               depends_on=first)
+
+        def body(sim):
+            yield from board.admit(1, [first, second], _noop_finalize(1))
+            yield board.completions.get()
+
+        sim.run(until=sim.process(body(sim)))
+        starts = {src: t for kind, dev, src, t in log if kind == "start"}
+        ends = {src: t for kind, dev, src, t in log if kind == "end"}
+        assert starts[2] >= ends[1]
+
+    def test_independent_entries_overlap(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("a", FakeExecutor(sim, usec(5), log))
+        board.register_executor("b", FakeExecutor(sim, usec(5), log))
+        e1 = DeviceCommand(dev="a", rw="r", src=1, dst=0, length=1)
+        e2 = DeviceCommand(dev="b", rw="r", src=2, dst=0, length=1)
+
+        def body(sim):
+            yield from board.admit(1, [e1, e2], _noop_finalize(1))
+            yield board.completions.get()
+
+        sim.run(until=sim.process(body(sim)))
+        starts = [t for kind, _, _, t in log if kind == "start"]
+        # Both start well before either finishes.
+        assert max(starts) < usec(5)
+
+    def test_controller_slots_limit_concurrency(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("a", FakeExecutor(sim, usec(4), log, slots=1))
+        entries = [DeviceCommand(dev="a", rw="r", src=i, dst=0, length=1)
+                   for i in range(3)]
+
+        def body(sim):
+            for i, entry in enumerate(entries):
+                yield from board.admit(i + 1, [entry], _noop_finalize(i + 1))
+            for _ in entries:
+                yield board.completions.get()
+
+        sim.run(until=sim.process(body(sim)))
+        # With one slot, executions are back to back: total >= 12 us.
+        assert sim.now >= usec(12)
+
+    def test_in_order_completion_holds_later_tasks(self, sim):
+        log = []
+        board = Scoreboard(sim, in_order_completion=True)
+        board.register_executor("slow", FakeExecutor(sim, usec(10), log))
+        board.register_executor("fast", FakeExecutor(sim, usec(1), log))
+        order = []
+
+        def body(sim):
+            yield from board.admit(
+                1, [DeviceCommand(dev="slow", rw="r", src=1, dst=0, length=1)],
+                _noop_finalize(1))
+            yield from board.admit(
+                2, [DeviceCommand(dev="fast", rw="r", src=2, dst=0, length=1)],
+                _noop_finalize(2))
+            for _ in range(2):
+                cpl = yield board.completions.get()
+                order.append(cpl.d2d_id)
+
+        sim.run(until=sim.process(body(sim)))
+        assert order == [1, 2]
+
+    def test_out_of_order_completion_releases_fast_first(self, sim):
+        log = []
+        board = Scoreboard(sim, in_order_completion=False)
+        board.register_executor("slow", FakeExecutor(sim, usec(10), log))
+        board.register_executor("fast", FakeExecutor(sim, usec(1), log))
+        order = []
+
+        def body(sim):
+            yield from board.admit(
+                1, [DeviceCommand(dev="slow", rw="r", src=1, dst=0, length=1)],
+                _noop_finalize(1))
+            yield from board.admit(
+                2, [DeviceCommand(dev="fast", rw="r", src=2, dst=0, length=1)],
+                _noop_finalize(2))
+            for _ in range(2):
+                cpl = yield board.completions.get()
+                order.append(cpl.d2d_id)
+
+        sim.run(until=sim.process(body(sim)))
+        assert order == [2, 1]
+
+    def test_unregistered_device_rejected(self, sim):
+        board = Scoreboard(sim)
+        entry = DeviceCommand(dev="ghost", rw="r", src=1, dst=0, length=1)
+
+        def body(sim):
+            yield from board.admit(1, [entry], _noop_finalize(1))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert not proc.ok
+        with pytest.raises(ConfigurationError):
+            _ = proc.value
+
+    def test_empty_entry_list_rejected(self, sim):
+        board = Scoreboard(sim)
+
+        def body(sim):
+            yield from board.admit(1, [], _noop_finalize(1))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert not proc.ok
+
+    def test_failed_entry_reports_failed_completion(self, sim):
+        class Exploder(Executor):
+            slots = 1
+
+            def __init__(self, sim):
+                self.sim = sim
+
+            def execute(self, entry):
+                yield self.sim.timeout(10)
+                raise DeviceError("device on fire")
+
+        board = Scoreboard(sim)
+        board.register_executor("bad", Exploder(sim))
+        entry = DeviceCommand(dev="bad", rw="r", src=1, dst=0, length=1)
+
+        def body(sim):
+            yield from board.admit(1, [entry], _noop_finalize(1))
+            cpl = yield board.completions.get()
+            return cpl
+
+        cpl = sim.run(until=sim.process(body(sim)))
+        assert not cpl.ok
+
+    def test_after_hook_runs_before_dependent(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("a", FakeExecutor(sim, usec(1), log))
+        board.register_executor("b", FakeExecutor(sim, usec(1), log))
+        first = DeviceCommand(dev="a", rw="r", src=1, dst=0, length=100)
+        second = DeviceCommand(dev="b", rw="w", src=2, dst=0, length=100,
+                               depends_on=first)
+        first.after = lambda: setattr(second, "length", 55)
+        seen = []
+
+        class Checker(Executor):
+            slots = 1
+
+            def __init__(self, sim):
+                self.sim = sim
+
+            def execute(self, entry):
+                seen.append(entry.length)
+                yield self.sim.timeout(1)
+
+        board._executors["b"] = Checker(sim)
+
+        def body(sim):
+            yield from board.admit(1, [first, second], _noop_finalize(1))
+            yield board.completions.get()
+
+        sim.run(until=sim.process(body(sim)))
+        assert seen == [55]
+
+    def test_entry_windows_recorded(self, sim):
+        log = []
+        board = Scoreboard(sim)
+        board.register_executor("a", FakeExecutor(sim, usec(3), log))
+        entry = DeviceCommand(dev="a", rw="r", src=1, dst=0, length=1)
+
+        def body(sim):
+            yield from board.admit(1, [entry], _noop_finalize(1))
+            yield board.completions.get()
+
+        sim.run(until=sim.process(body(sim)))
+        assert entry.done_at - entry.issued_at == usec(3)

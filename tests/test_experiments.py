@@ -1,0 +1,57 @@
+"""Smoke tests for the fast experiment runners (the slow app-scale
+runners are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.experiments import (run_fig11, run_fig3, run_fig8, run_table1,
+                               run_table3, run_table4)
+from repro.experiments.result import ExperimentResult
+
+
+class TestResultContainer:
+    def test_render_includes_rows_and_metrics(self):
+        result = ExperimentResult(name="demo", headers=["a", "b"])
+        result.add_row("x", 1)
+        result.metrics["k"] = 2.5
+        result.notes.append("a note")
+        text = result.render()
+        assert "demo" in text
+        assert "k = 2.500" in text
+        assert "note: a note" in text
+
+
+class TestTables:
+    def test_table1_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 4
+        assert result.metrics["dcs_functions"] == 6
+
+    def test_table3_matches_paper_averages(self):
+        result = run_table3()
+        assert result.metrics["avg_lut_pct"] == pytest.approx(3.28, abs=0.15)
+        assert result.metrics["avg_reg_pct"] == pytest.approx(1.02, abs=0.10)
+
+    def test_table4_matches_paper(self):
+        result = run_table4()
+        assert result.metrics["lut_pct"] == pytest.approx(38, abs=1)
+        assert result.metrics["bram_pct"] == pytest.approx(43, abs=1)
+        assert result.metrics["fits_all_ndp"] == 1.0
+
+
+class TestMicrobenchFigures:
+    def test_fig8_ordering(self):
+        result = run_fig8()
+        assert (result.metrics["dcs_vs_linux"]
+                < result.metrics["swopt_vs_linux"] < 1.0)
+
+    def test_fig11_headline_bands(self):
+        result = run_fig11()
+        assert 0.35 < result.metrics["fig11a_software_reduction"] < 0.70
+        assert 0.55 < result.metrics["fig11b_software_reduction"] < 0.85
+        assert len(result.rows) == 6  # 3 schemes x 2 panels
+
+    def test_fig3_integrated_wins(self):
+        result = run_fig3()
+        assert result.metrics["integrated_vs_swopt_cpu"] < 0.5
+        assert result.metrics["integrated_total_us"] < result.metrics[
+            "sw_opt_total_us"]

@@ -1,0 +1,190 @@
+"""Tests for memory regions, sparse backing, DRAM timing and the allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, AllocationError
+from repro.memory import (ChunkAllocator, FPGA_DDR3, HOST_DDR4, MemoryRegion,
+                          SparseBytes)
+from repro.units import KIB, MIB
+
+
+class TestSparseBytes:
+    def test_reads_zero_before_write(self):
+        store = SparseBytes(1 * MIB)
+        assert store.read(1000, 16) == bytes(16)
+
+    def test_roundtrip(self):
+        store = SparseBytes(1 * MIB)
+        store.write(5000, b"hello world")
+        assert store.read(5000, 11) == b"hello world"
+
+    def test_write_across_page_boundary(self):
+        store = SparseBytes(1 * MIB)
+        data = bytes(range(200)) * 50  # 10000 bytes, spans pages
+        store.write(4096 - 123, data)
+        assert store.read(4096 - 123, len(data)) == data
+
+    def test_out_of_bounds_rejected(self):
+        store = SparseBytes(4096)
+        with pytest.raises(AddressError):
+            store.read(4090, 10)
+        with pytest.raises(AddressError):
+            store.write(4095, b"ab")
+
+    def test_lazy_allocation(self):
+        store = SparseBytes(1024 * MIB)
+        assert store.resident_bytes == 0
+        store.write(512 * MIB, b"x")
+        assert store.resident_bytes == SparseBytes.PAGE
+
+    @settings(max_examples=50, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=60000),
+           data=st.binary(min_size=1, max_size=5000))
+    def test_roundtrip_property(self, offset, data):
+        store = SparseBytes(64 * KIB + 5000)
+        store.write(offset, data)
+        assert store.read(offset, len(data)) == data
+
+
+class TestMemoryRegion:
+    def test_functional_roundtrip(self):
+        region = MemoryRegion("dram", base=0x1000, size=4096, port="host")
+        region.write(0x1100, b"abc")
+        assert region.read(0x1100, 3) == b"abc"
+
+    def test_absolute_addressing(self):
+        region = MemoryRegion("dram", base=0x1000, size=4096, port="host")
+        with pytest.raises(AddressError):
+            region.read(0x0, 4)  # below base
+
+    def test_contains(self):
+        region = MemoryRegion("r", base=100, size=50, port="p")
+        assert region.contains(100)
+        assert region.contains(149)
+        assert not region.contains(150)
+        assert region.contains(100, 50)
+        assert not region.contains(100, 51)
+
+    def test_mmio_write_hook_replaces_storage(self):
+        region = MemoryRegion("regs", base=0, size=4096, port="dev")
+        seen = []
+        region.on_mmio_write = lambda off, data: seen.append((off, data))
+        region.write(0x10, b"\x01\x00\x00\x00")
+        assert seen == [(0x10, b"\x01\x00\x00\x00")]
+        # Data was consumed by the hook, not stored.
+        assert region.read(0x10, 4) == bytes(4)
+
+    def test_mmio_read_hook(self):
+        region = MemoryRegion("regs", base=0, size=4096, port="dev")
+        region.on_mmio_read = lambda off, length: bytes([off % 256] * length)
+        assert region.read(8, 2) == b"\x08\x08"
+
+    def test_sparse_region(self):
+        region = MemoryRegion("flash", base=0, size=1024 * MIB, port="ssd",
+                              sparse=True)
+        region.write(100 * MIB, b"deep")
+        assert region.read(100 * MIB, 4) == b"deep"
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(AddressError):
+            MemoryRegion("r", base=-1, size=10, port="p")
+        with pytest.raises(AddressError):
+            MemoryRegion("r", base=0, size=0, port="p")
+
+
+class TestDramTiming:
+    def test_duration_includes_latency(self):
+        assert HOST_DDR4.duration(0) == HOST_DDR4.access_latency
+
+    def test_duration_scales_with_size(self):
+        one = HOST_DDR4.duration(1 * MIB)
+        two = HOST_DDR4.duration(2 * MIB)
+        assert two > one
+        # doubling the payload roughly doubles the streaming part
+        stream_one = one - HOST_DDR4.access_latency
+        stream_two = two - HOST_DDR4.access_latency
+        assert stream_two == pytest.approx(2 * stream_one, rel=0.01)
+
+    def test_fpga_ddr3_slower_than_host(self):
+        assert (FPGA_DDR3.bandwidth.bytes_per_sec
+                < HOST_DDR4.bandwidth.bytes_per_sec)
+
+
+class TestChunkAllocator:
+    def test_alloc_free_cycle(self):
+        alloc = ChunkAllocator(base=0x1000, size=64 * KIB * 8, chunk_size=64 * KIB)
+        addr = alloc.alloc()
+        assert addr == 0x1000
+        assert alloc.allocated_chunks == 1
+        alloc.free(addr)
+        assert alloc.allocated_chunks == 0
+
+    def test_exhaustion(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 2, chunk_size=64 * KIB)
+        alloc.alloc()
+        alloc.alloc()
+        with pytest.raises(AllocationError):
+            alloc.alloc()
+
+    def test_contiguous_allocation(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 8, chunk_size=64 * KIB)
+        addr = alloc.alloc_contiguous(4)
+        assert addr == 0
+        addr2 = alloc.alloc_contiguous(4)
+        assert addr2 == 4 * 64 * KIB
+
+    def test_contiguous_respects_fragmentation(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 4, chunk_size=64 * KIB)
+        a = alloc.alloc()   # chunk 0
+        b = alloc.alloc()   # chunk 1
+        alloc.alloc()       # chunk 2
+        alloc.free(b)       # free chunk 1 -> free set {1, 3}
+        with pytest.raises(AllocationError):
+            alloc.alloc_contiguous(2)
+        alloc.free(a)       # free set {0, 1, 3}
+        assert alloc.alloc_contiguous(2) == 0
+
+    def test_double_free_rejected(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 2, chunk_size=64 * KIB)
+        addr = alloc.alloc()
+        alloc.free(addr)
+        with pytest.raises(AllocationError):
+            alloc.free(addr)
+
+    def test_unaligned_free_rejected(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 2, chunk_size=64 * KIB)
+        alloc.alloc()
+        with pytest.raises(AllocationError):
+            alloc.free(17)
+
+    def test_chunks_for(self):
+        alloc = ChunkAllocator(base=0, size=64 * KIB * 8, chunk_size=64 * KIB)
+        assert alloc.chunks_for(1) == 1
+        assert alloc.chunks_for(64 * KIB) == 1
+        assert alloc.chunks_for(64 * KIB + 1) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(st.integers(min_value=1, max_value=4),
+                        min_size=1, max_size=30))
+    def test_alloc_free_never_leaks(self, ops):
+        total = 32
+        alloc = ChunkAllocator(base=0, size=64 * KIB * total, chunk_size=64 * KIB)
+        held = []
+        for count in ops:
+            if alloc.free_chunks >= count:
+                try:
+                    held.append((alloc.alloc_contiguous(count), count))
+                except AllocationError:
+                    # Fragmented — legitimate; fall back to freeing.
+                    if held:
+                        addr, n = held.pop(0)
+                        alloc.free(addr, n)
+            elif held:
+                addr, n = held.pop(0)
+                alloc.free(addr, n)
+        for addr, n in held:
+            alloc.free(addr, n)
+        assert alloc.free_chunks == total
+        assert alloc.allocated_chunks == 0

@@ -1,0 +1,280 @@
+"""Tests for headers, frames, LSO segmentation, flows and the wire."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, SimulationError
+from repro.net import (Frame, FlowTable, HEADER_LEN, MTU, TCP_MSS,
+                       EthernetHeader, Ipv4Header, TcpEndpoint, TcpFlow,
+                       TcpHeader, Wire, build_frame, checksum16, parse_frame,
+                       segment_payload, wire_bytes)
+from repro.sim import Simulator
+from repro.units import SEC, gbps
+
+ETH = EthernetHeader(dst_mac="02:00:00:00:00:02", src_mac="02:00:00:00:00:01")
+A = TcpEndpoint(mac="02:00:00:00:00:01", ip="10.0.0.1", port=5000)
+B = TcpEndpoint(mac="02:00:00:00:00:02", ip="10.0.0.2", port=6000)
+
+
+def make_frame(payload=b"hello", seq=1):
+    tcp = TcpHeader(src_port=A.port, dst_port=B.port, seq=seq)
+    return build_frame(ETH, A.ip, B.ip, tcp, payload)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example: checksum of this sequence is 0xddf2.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert checksum16(data) == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+    def test_checksum_of_data_plus_checksum_is_zero(self):
+        data = b"some header bytes!"
+        csum = checksum16(data)
+        import struct
+        assert checksum16(data + struct.pack("!H", csum)) == 0
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\xff") == checksum16(b"\xff\x00")
+
+
+class TestHeaders:
+    def test_eth_roundtrip(self):
+        packed = ETH.pack()
+        assert len(packed) == 14
+        assert EthernetHeader.unpack(packed) == ETH
+
+    def test_ipv4_roundtrip(self):
+        header = Ipv4Header(src_ip="192.168.1.10", dst_ip="10.0.0.2",
+                            total_length=1500, ident=7)
+        packed = header.pack()
+        assert len(packed) == 20
+        parsed = Ipv4Header.unpack(packed)
+        assert parsed.src_ip == "192.168.1.10"
+        assert parsed.dst_ip == "10.0.0.2"
+        assert parsed.total_length == 1500
+
+    def test_ipv4_checksum_detected(self):
+        packed = bytearray(Ipv4Header("1.2.3.4", "5.6.7.8", 100).pack())
+        packed[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(ProtocolError, match="checksum"):
+            Ipv4Header.unpack(bytes(packed))
+
+    def test_tcp_roundtrip(self):
+        tcp = TcpHeader(src_port=80, dst_port=443, seq=12345, ack=999)
+        packed = tcp.pack("1.1.1.1", "2.2.2.2", b"payload")
+        parsed = TcpHeader.unpack(packed)
+        assert (parsed.src_port, parsed.dst_port) == (80, 443)
+        assert (parsed.seq, parsed.ack) == (12345, 999)
+
+    def test_tcp_checksum_covers_payload(self):
+        tcp = TcpHeader(src_port=80, dst_port=443, seq=1)
+        packed = tcp.pack("1.1.1.1", "2.2.2.2", b"payload")
+        assert TcpHeader.verify_checksum("1.1.1.1", "2.2.2.2",
+                                         packed + b"payload")
+        assert not TcpHeader.verify_checksum("1.1.1.1", "2.2.2.2",
+                                             packed + b"tampered")
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(ProtocolError):
+            EthernetHeader(dst_mac="nonsense", src_mac="02:00:00:00:00:01").pack()
+
+
+class TestFrames:
+    def test_build_parse_roundtrip(self):
+        frame = parse_frame(make_frame(b"hello world"))
+        assert frame.payload == b"hello world"
+        assert frame.ip.src_ip == A.ip
+        assert frame.tcp.dst_port == B.port
+
+    def test_corrupt_payload_detected(self):
+        raw = bytearray(make_frame(b"hello world"))
+        raw[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            parse_frame(bytes(raw))
+
+    def test_header_len_is_54(self):
+        assert HEADER_LEN == 54
+        assert len(make_frame(b"")) == 54
+
+    def test_wire_bytes_adds_overhead(self):
+        assert wire_bytes(1514) == 1538
+        assert wire_bytes(10) == 60 + 24  # runt padding
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=3000))
+    def test_roundtrip_property(self, payload):
+        tcp = TcpHeader(src_port=A.port, dst_port=B.port, seq=77)
+        if len(payload) > TCP_MSS:
+            frames = segment_payload(ETH, A.ip, B.ip, tcp, payload)
+            got = b"".join(parse_frame(f).payload for f in frames)
+        else:
+            got = parse_frame(build_frame(ETH, A.ip, B.ip, tcp, payload)).payload
+        assert got == payload
+
+
+class TestSegmentation:
+    def test_small_payload_single_frame(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=100)
+        frames = segment_payload(ETH, A.ip, B.ip, tcp, b"x" * 100)
+        assert len(frames) == 1
+
+    def test_large_payload_splits_at_mss(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=100)
+        payload = bytes(64 * 1024)
+        frames = segment_payload(ETH, A.ip, B.ip, tcp, payload)
+        assert len(frames) == -(-len(payload) // TCP_MSS)
+        assert all(len(f) <= MTU + 14 for f in frames)
+
+    def test_sequence_numbers_advance(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=100)
+        frames = segment_payload(ETH, A.ip, B.ip, tcp, bytes(4000))
+        seqs = [parse_frame(f).tcp.seq for f in frames]
+        assert seqs == [100, 100 + TCP_MSS, 100 + 2 * TCP_MSS]
+
+    def test_reassembly_preserves_content(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=0)
+        payload = bytes(range(256)) * 40
+        frames = segment_payload(ETH, A.ip, B.ip, tcp, payload)
+        assert b"".join(parse_frame(f).payload for f in frames) == payload
+
+    def test_empty_payload_yields_bare_ack(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=5)
+        frames = segment_payload(ETH, A.ip, B.ip, tcp, b"")
+        assert len(frames) == 1
+        assert parse_frame(frames[0]).payload == b""
+
+    def test_bad_mss_rejected(self):
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=5)
+        with pytest.raises(ProtocolError):
+            segment_payload(ETH, A.ip, B.ip, tcp, b"x", mss=0)
+
+
+class TestTcpFlow:
+    def test_send_receive_in_order(self):
+        sender = TcpFlow(local=A, remote=B)
+        receiver = sender.reverse()
+        for chunk in (b"first", b"second", b"third"):
+            tcp = sender.next_header(len(chunk))
+            frame = parse_frame(build_frame(sender.eth_header(), A.ip, B.ip,
+                                            tcp, chunk))
+            assert receiver.accept(frame) == chunk
+
+    def test_gap_detected(self):
+        sender = TcpFlow(local=A, remote=B)
+        receiver = sender.reverse()
+        sender.next_header(10)  # segment lost
+        tcp = sender.next_header(5)
+        frame = parse_frame(build_frame(sender.eth_header(), A.ip, B.ip,
+                                        tcp, b"xxxxx"))
+        with pytest.raises(ProtocolError, match="out-of-order"):
+            receiver.accept(frame)
+
+    def test_wrong_flow_rejected(self):
+        sender = TcpFlow(local=A, remote=B)
+        other_local = TcpEndpoint(mac=B.mac, ip=B.ip, port=7777)
+        receiver = TcpFlow(local=other_local, remote=A)
+        tcp = sender.next_header(3)
+        frame = parse_frame(build_frame(sender.eth_header(), A.ip, B.ip,
+                                        tcp, b"abc"))
+        with pytest.raises(ProtocolError):
+            receiver.accept(frame)
+
+    def test_flow_table_lookup(self):
+        sender = TcpFlow(local=A, remote=B)
+        receiver = sender.reverse()
+        table = FlowTable()
+        table.add(receiver)
+        tcp = sender.next_header(2)
+        frame = parse_frame(build_frame(sender.eth_header(), A.ip, B.ip,
+                                        tcp, b"ok"))
+        assert table.lookup(frame) is receiver
+        table.remove(receiver)
+        assert table.lookup(frame) is None
+
+
+class TestWire:
+    def test_delivery(self):
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.attach("left")
+        right_in = wire.attach("right")
+        frame = make_frame(b"over the wire")
+
+        def sender(sim, wire):
+            yield from wire.transmit("left", frame)
+
+        def receiver(sim, queue):
+            got = yield queue.get()
+            return got
+
+        sim.process(sender(sim, wire))
+        proc = sim.process(receiver(sim, right_in))
+        assert sim.run(until=proc) == frame
+
+    def test_effective_rate_below_line_rate(self):
+        """Full-MTU streaming lands near 9.4 Gbps on a 10 Gbps line."""
+        sim = Simulator()
+        wire = Wire(sim, rate=gbps(10))
+        wire.attach("left")
+        right_in = wire.attach("right")
+        n_frames = 200
+        payload = bytes(TCP_MSS)
+        tcp = TcpHeader(src_port=1, dst_port=2, seq=0)
+        frame = build_frame(ETH, A.ip, B.ip, tcp, payload)
+
+        def sender(sim, wire):
+            for _ in range(n_frames):
+                yield from wire.transmit("left", frame)
+
+        def receiver(sim, queue):
+            for _ in range(n_frames):
+                yield queue.get()
+
+        sim.process(sender(sim, wire))
+        proc = sim.process(receiver(sim, right_in))
+        sim.run(until=proc)
+        goodput = n_frames * TCP_MSS * 8 / (sim.now / SEC) / 1e9
+        assert 9.0 < goodput < 9.6
+
+    def test_in_order_delivery(self):
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.attach("left")
+        right_in = wire.attach("right")
+        got = []
+
+        def sender(sim, wire):
+            for i in range(10):
+                yield from wire.transmit("left", make_frame(bytes([i]) * 10))
+
+        def receiver(sim, queue):
+            for _ in range(10):
+                frame = yield queue.get()
+                got.append(parse_frame(frame).payload[0])
+
+        sim.process(sender(sim, wire))
+        proc = sim.process(receiver(sim, right_in))
+        sim.run(until=proc)
+        assert got == list(range(10))
+
+    def test_third_endpoint_rejected(self):
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.attach("a")
+        wire.attach("b")
+        with pytest.raises(SimulationError):
+            wire.attach("c")
+
+    def test_unattached_sender_rejected(self):
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.attach("a")
+        wire.attach("b")
+
+        def body(sim, wire):
+            yield from wire.transmit("ghost", b"x" * 100)
+
+        proc = sim.process(body(sim, wire))
+        sim.run()
+        assert not proc.ok

@@ -1,0 +1,228 @@
+"""Tests for the PCIe address map, links and switched fabric."""
+
+import pytest
+
+from repro.errors import AddressError, SimulationError
+from repro.memory import MemoryRegion
+from repro.pcie import (AddressMap, Fabric, LINK_GEN2_X4, LINK_GEN2_X8,
+                        tlp_efficiency)
+from repro.pcie.transaction import DOORBELL_WRITE_NS
+from repro.sim import Simulator
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    fab = Fabric(sim)
+    fab.add_port("host", LINK_GEN2_X8)
+    fab.add_port("ssd", LINK_GEN2_X4)
+    fab.add_port("nic", LINK_GEN2_X8)
+    fab.add_port("engine", LINK_GEN2_X8)
+    fab.add_region(MemoryRegion("host-dram", base=0x0000_0000,
+                                size=64 * MIB, port="host"))
+    fab.add_region(MemoryRegion("engine-ddr3", base=0x4000_0000,
+                                size=16 * MIB, port="engine"))
+    fab.add_region(MemoryRegion("ssd-regs", base=0x8000_0000,
+                                size=64 * KIB, port="ssd"))
+    return fab
+
+
+class TestAddressMap:
+    def test_resolve_finds_region(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=0, size=100, port="p"))
+        amap.add(MemoryRegion("b", base=100, size=100, port="q"))
+        assert amap.resolve(50).name == "a"
+        assert amap.resolve(100).name == "b"
+        assert amap.resolve(199).name == "b"
+
+    def test_overlap_rejected(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=0, size=100, port="p"))
+        with pytest.raises(AddressError):
+            amap.add(MemoryRegion("b", base=50, size=100, port="q"))
+
+    def test_unmapped_rejected(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=100, size=100, port="p"))
+        with pytest.raises(AddressError):
+            amap.resolve(50)
+        with pytest.raises(AddressError):
+            amap.resolve(200)
+
+    def test_straddle_rejected(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=0, size=100, port="p"))
+        amap.add(MemoryRegion("b", base=100, size=100, port="q"))
+        with pytest.raises(AddressError):
+            amap.resolve(90, 20)
+
+    def test_find_by_name(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=0, size=100, port="p"))
+        assert amap.find("a").base == 0
+        assert amap.find("zzz") is None
+
+    def test_functional_read_write(self):
+        amap = AddressMap()
+        amap.add(MemoryRegion("a", base=0x1000, size=4096, port="p"))
+        amap.write(0x1234, b"data")
+        assert amap.read(0x1234, 4) == b"data"
+
+
+class TestLinkConfig:
+    def test_tlp_efficiency_below_one(self):
+        assert 0.85 < tlp_efficiency() < 1.0
+
+    def test_x8_twice_x4(self):
+        assert (LINK_GEN2_X8.effective_rate().bytes_per_sec ==
+                pytest.approx(2 * LINK_GEN2_X4.effective_rate().bytes_per_sec))
+
+    def test_gen2_x4_near_2gb(self):
+        # 4 lanes * 500 MB/s raw = 2 GB/s, ~1.8 GB/s effective
+        rate = LINK_GEN2_X4.effective_rate()
+        assert 1.7e9 < rate.bytes_per_sec < 2.0e9
+
+
+class TestFabric:
+    def test_duplicate_port_rejected(self, sim):
+        fab = Fabric(sim)
+        fab.add_port("host", LINK_GEN2_X8)
+        with pytest.raises(SimulationError):
+            fab.add_port("host", LINK_GEN2_X8)
+
+    def test_region_needs_known_port(self, sim):
+        fab = Fabric(sim)
+        with pytest.raises(SimulationError):
+            fab.add_region(MemoryRegion("r", base=0, size=10, port="ghost"))
+
+    def test_dma_write_moves_bytes(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.dma_write("ssd", 0x1000, b"payload")
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        assert fabric.peek(0x1000, 7) == b"payload"
+
+    def test_dma_write_takes_time(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.dma_write("ssd", 0x1000, bytes(64 * KIB))
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        # 64 KiB over an effective ~1.8 GB/s x4 link, twice (tx then rx
+        # holds), plus hops: tens of microseconds at most.
+        assert 30_000 < sim.now < 120_000
+
+    def test_local_access_is_free_and_functional(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.dma_write("host", 0x2000, b"local")
+            data = yield from fabric.dma_read("host", 0x2000, 5)
+            return data
+
+        proc = sim.process(body(sim, fabric))
+        assert sim.run(until=proc) == b"local"
+        assert sim.now == 0
+
+    def test_dma_read_returns_bytes(self, sim, fabric):
+        fabric.poke(0x4000_0100, b"engine-data")
+
+        def body(sim, fabric):
+            data = yield from fabric.dma_read("nic", 0x4000_0100, 11)
+            return data
+
+        proc = sim.process(body(sim, fabric))
+        assert sim.run(until=proc) == b"engine-data"
+        assert sim.now > 0
+
+    def test_p2p_bypasses_host_accounting(self, sim, fabric):
+        def body(sim, fabric):
+            # SSD writes into engine DDR3: pure peer-to-peer.
+            yield from fabric.dma_write("ssd", 0x4000_0000, bytes(4096))
+            # Engine writes to host DRAM: host traffic.
+            yield from fabric.dma_write("engine", 0x0, bytes(512))
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        assert fabric.p2p_bytes == 4096
+        assert fabric.host_bytes == 512
+
+    def test_port_stats_track_direction(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.dma_write("ssd", 0x4000_0000, bytes(1000))
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        assert fabric.stats("ssd").tx_bytes == 1000
+        assert fabric.stats("engine").rx_bytes == 1000
+        assert fabric.stats("host").rx_bytes == 0
+
+    def test_mmio_write_fires_hook_after_latency(self, sim, fabric):
+        rung = []
+        region = fabric.address_map.find("ssd-regs")
+        region.on_mmio_write = lambda off, data: rung.append((sim.now, off, data))
+
+        def body(sim, fabric):
+            yield from fabric.mmio_write("engine", 0x8000_0010, b"\x05\x00\x00\x00")
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        assert rung == [(DOORBELL_WRITE_NS, 0x10, b"\x05\x00\x00\x00")]
+        assert fabric.stats("engine").doorbells == 1
+
+    def test_mmio_read_round_trip(self, sim, fabric):
+        fabric.poke(0x0000_0040, b"\xaa\xbb\xcc\xdd")
+
+        def body(sim, fabric):
+            data = yield from fabric.mmio_read("ssd", 0x0000_0040, 4)
+            return data
+
+        proc = sim.process(body(sim, fabric))
+        assert sim.run(until=proc) == b"\xaa\xbb\xcc\xdd"
+        assert sim.now > 0
+
+    def test_msi_delivery(self, sim, fabric):
+        hits = []
+        fabric.register_msi_handler("host", lambda src, vec: hits.append((src, vec)))
+
+        def body(sim, fabric):
+            yield from fabric.msi("ssd", vector=3)
+
+        sim.run(until=sim.process(body(sim, fabric)))
+        assert hits == [("ssd", 3)]
+        assert fabric.stats("ssd").interrupts == 1
+
+    def test_msi_without_handler_raises(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.msi("ssd")
+
+        proc = sim.process(body(sim, fabric))
+        sim.run()
+        assert not proc.ok
+
+    def test_concurrent_writes_to_one_target_serialize(self, sim, fabric):
+        """Two devices DMAing into the same region contend its RX link."""
+        finish = {}
+
+        def writer(sim, fabric, port, addr):
+            yield from fabric.dma_write(port, addr, bytes(256 * KIB))
+            finish[port] = sim.now
+
+        sim.process(writer(sim, fabric, "ssd", 0x4000_0000))
+        sim.process(writer(sim, fabric, "nic", 0x4010_0000))
+        sim.run()
+        # The engine's RX link is shared: the last completion cannot
+        # beat the RX serialization of both payloads back to back.
+        engine_rx_time = 2 * LINK_GEN2_X8.effective_rate().duration(
+            256 * KIB)
+        assert max(finish.values()) >= engine_rx_time
+
+    def test_unmapped_dma_fails_process(self, sim, fabric):
+        def body(sim, fabric):
+            yield from fabric.dma_write("ssd", 0xdead_beef_0000, b"x")
+
+        proc = sim.process(body(sim, fabric))
+        sim.run()
+        assert not proc.ok
+        with pytest.raises(AddressError):
+            _ = proc.value

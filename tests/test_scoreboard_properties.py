@@ -1,0 +1,105 @@
+"""Property-based tests of the scoreboard scheduler.
+
+Random task DAGs (chains of random lengths across random executors)
+must always drain with dependencies respected, controller slot limits
+never exceeded, and completions delivered according to the configured
+ordering policy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.command import D2DCompletion, DeviceCommand, EntryState
+from repro.core.scoreboard import Executor, Scoreboard
+from repro.sim import Simulator
+
+DEVICES = ("a", "b", "c")
+
+
+class RecordingExecutor(Executor):
+    def __init__(self, sim, duration, slots, log):
+        self.sim = sim
+        self.duration = duration
+        self.slots = slots
+        self.log = log
+        self.active = 0
+        self.peak = 0
+
+    def execute(self, entry):
+        self.active += 1
+        self.peak = max(self.peak, self.active)
+        self.log.append(("start", id(entry), self.sim.now))
+        yield self.sim.timeout(self.duration)
+        self.log.append(("end", id(entry), self.sim.now))
+        self.active -= 1
+        return None
+
+
+task_strategy = st.lists(
+    st.lists(st.tuples(st.sampled_from(DEVICES),
+                       st.integers(min_value=1, max_value=500)),
+             min_size=1, max_size=4),
+    min_size=1, max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tasks=task_strategy,
+       slots=st.integers(min_value=1, max_value=3),
+       in_order=st.booleans())
+def test_scoreboard_properties(tasks, slots, in_order):
+    sim = Simulator()
+    board = Scoreboard(sim, in_order_completion=in_order)
+    log = []
+    executors = {dev: RecordingExecutor(sim, 100, slots, log)
+                 for dev in DEVICES}
+    for dev, executor in executors.items():
+        board.register_executor(dev, executor)
+
+    all_tasks = []
+    completions = []
+
+    def admit_all(sim):
+        for task_id, chain in enumerate(tasks, start=1):
+            entries = []
+            prev = None
+            for dev, _weight in chain:
+                entry = DeviceCommand(dev=dev, rw="r", src=0, dst=0,
+                                      length=1, depends_on=prev)
+                entries.append(entry)
+                prev = entry
+            all_tasks.append((task_id, entries))
+
+            def finalize(task, task_id=task_id):
+                return D2DCompletion(d2d_id=task_id, status=0)
+
+            yield from board.admit(task_id, entries, finalize)
+
+    def drain(sim):
+        for _ in tasks:
+            cpl = yield board.completions.get()
+            completions.append(cpl.d2d_id)
+
+    sim.process(admit_all(sim))
+    drain_proc = sim.process(drain(sim))
+    sim.run(until=drain_proc)
+
+    # 1. Everything completed.
+    assert len(completions) == len(tasks)
+    # 2. Dependencies respected: within each task, entry i started only
+    #    after entry i-1 ended.
+    times = {}
+    for kind, eid, t in log:
+        times.setdefault(eid, {})[kind] = t
+    for _tid, entries in all_tasks:
+        for first, second in zip(entries, entries[1:]):
+            assert (times[id(second)]["start"]
+                    >= times[id(first)]["end"])
+    # 3. Slot limits never exceeded.
+    for executor in executors.values():
+        assert executor.peak <= executor.slots
+    # 4. Completion ordering policy.
+    if in_order:
+        assert completions == sorted(completions)
+    # 5. All entries reached DONE.
+    for _tid, entries in all_tasks:
+        assert all(e.state == EntryState.DONE for e in entries)

@@ -1,0 +1,27 @@
+# Convenience targets; everything runs with the in-tree sources
+# (PYTHONPATH=src) so no install step is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench experiments trace-demo docs-check clean
+
+test:            ## tier-1 suite (ROADMAP.md verify command)
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## regenerate every table & figure with assertions
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:     ## print all reproduced tables/figures
+	$(PYTHON) -m repro.experiments
+
+trace-demo:      ## traced headline run -> trace.json (ui.perfetto.dev)
+	$(PYTHON) -m repro.experiments --trace trace.json headline
+	@echo "wrote trace.json - load it in https://ui.perfetto.dev"
+
+docs-check:      ## taxonomy <-> docs/tracing.md lock-step check
+	$(PYTHON) -m pytest -q tests/test_trace_docs.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis trace.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -16,13 +16,45 @@ from repro.units import to_usec
 
 
 class LatencyTrace:
-    """Per-request latency segments, by component category."""
+    """Per-request latency segments, by component category.
+
+    When the simulator has an attached :class:`~repro.trace.Tracer`
+    (a ``TraceSession`` is installed), the trace mirrors itself into
+    the event stream: :meth:`bind` opens a ``request`` root span, every
+    :meth:`span`/:meth:`add` segment becomes a ``phase`` event under
+    it, and :meth:`finish` closes the root.  The span-derived breakdown
+    therefore equals :attr:`segments` by construction (asserted in
+    ``tests/test_trace.py``).
+    """
 
     def __init__(self, sim):
         self.sim = sim
         self.segments: Dict[str, int] = defaultdict(int)
         self.started_at = sim.now
         self.finished_at: Optional[int] = None
+        self._tracer = sim.tracer
+        self._root = None
+
+    def bind(self, op: str = "request", **args) -> "LatencyTrace":
+        """Open the ``request`` root span (no-op when tracing is off or
+        already bound); schemes call this with their operation name."""
+        if self._tracer is not None and self._root is None:
+            self._root = self._tracer.begin("request", track="requests",
+                                            name=op, **args)
+        return self
+
+    def _emit_phase(self, category: str, start: int, duration: int,
+                    attributed: bool = False) -> None:
+        if duration <= 0:
+            return
+        if attributed:
+            self._tracer.complete("phase", track="requests", start=start,
+                                  duration=duration, name=category,
+                                  parent=self._root, attributed=True)
+        else:
+            self._tracer.complete("phase", track="requests", start=start,
+                                  duration=duration, name=category,
+                                  parent=self._root)
 
     @contextmanager
     def span(self, category: str):
@@ -36,14 +68,23 @@ class LatencyTrace:
             yield
         finally:
             self.segments[category] += self.sim.now - start
+            if self._tracer is not None:
+                self._emit_phase(category, start, self.sim.now - start)
 
     def add(self, category: str, duration: int) -> None:
-        """Attribute ``duration`` ns directly."""
+        """Attribute ``duration`` ns directly (after-the-fact, e.g. the
+        engine's stage profile)."""
         self.segments[category] += duration
+        if self._tracer is not None:
+            self._emit_phase(category, max(0, self.sim.now - duration),
+                             duration, attributed=True)
 
     def finish(self) -> None:
         """Mark the request complete (records end-to-end latency)."""
         self.finished_at = self.sim.now
+        if self._root is not None:
+            self._root.end()
+            self._root = None
 
     @property
     def total(self) -> int:
@@ -70,6 +111,9 @@ class LatencyTrace:
 
 class NullTrace:
     """A trace that records nothing (for untraced requests)."""
+
+    def bind(self, op: str = "request", **args) -> "NullTrace":
+        return self
 
     @contextmanager
     def span(self, category: str):

@@ -165,7 +165,14 @@ class HDCEngine:
         self.sim.process(self._handle(command))
 
     def _handle(self, command: D2DCommand):
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "engine.split", track=f"engine:{self.port}",
+            name=f"split d2d#{command.d2d_id}", d2d_id=command.d2d_id,
+            kind=int(command.kind), length=command.length)
         yield self.sim.timeout(SPLIT_TIME)
+        if span is not None:
+            span.end()
         try:
             entries, finalize = self._plan(command)
         except (ConfigurationError, AllocationError):
@@ -192,11 +199,19 @@ class HDCEngine:
     def _record_stats(self, d2d_id: int, entries: List[DeviceCommand]) -> None:
         stats: dict[str, int] = {}
         covered = 0
+        tracer = self.sim.tracer
         for entry in entries:
             category = self._stage_category(entry)
             duration = max(0, entry.done_at - entry.issued_at)
             stats[category] = stats.get(category, 0) + duration
             covered += duration
+            if tracer is not None:
+                tracer.complete(
+                    "engine.stage", track=f"engine:{self.port}",
+                    start=entry.issued_at, duration=duration,
+                    name=f"{entry.dev}:{entry.rw} d2d#{d2d_id}",
+                    d2d_id=d2d_id, dev=entry.dev, rw=entry.rw,
+                    category=category, length=entry.length)
         window = self.sim.now - self._task_started.pop(d2d_id)
         stats["scoreboard"] = max(0, window - covered)
         self.task_stats[d2d_id] = stats

@@ -87,17 +87,29 @@ class Gpu(PcieDevice):
 
     def copy_in(self, src_addr: int, gpu_offset: int, size: int):
         """Process: H2D (or peer-to-device) copy via the GPU's DMA engine."""
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "gpu.copy", track=f"dev:{self.name}", name=f"copy-in {size}B",
+            direction="in", size=size)
         with self._copy_engines.request() as engine:
             yield engine
             data = yield from self.dma_read(src_addr, size)
             self.dram.write(self.mem_addr(gpu_offset), data)
+        if span is not None:
+            span.end()
 
     def copy_out(self, gpu_offset: int, dst_addr: int, size: int):
         """Process: D2H (or device-to-peer) copy via the GPU's DMA engine."""
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "gpu.copy", track=f"dev:{self.name}", name=f"copy-out {size}B",
+            direction="out", size=size)
         with self._copy_engines.request() as engine:
             yield engine
             data = self.dram.read(self.mem_addr(gpu_offset), size)
             yield from self.dma_write(dst_addr, data)
+        if span is not None:
+            span.end()
 
     # -- kernels ---------------------------------------------------------------
 
@@ -119,6 +131,10 @@ class Gpu(PcieDevice):
                               f"have {self.kernel_names()}")
         if size <= 0:
             raise DeviceError(f"kernel input size must be positive: {size}")
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "gpu.exec", track=f"dev:{self.name}",
+            name=f"{kernel} {size}B", kernel=kernel, size=size)
         with self._exec_engine.request() as engine:
             yield engine
             yield self.sim.timeout(self.config.launch_overhead
@@ -127,4 +143,6 @@ class Gpu(PcieDevice):
             digest = spec.fn(data)
             self.dram.write(self.mem_addr(out_offset), digest)
         self.kernels_launched += 1
+        if span is not None:
+            span.end()
         return digest

@@ -175,6 +175,12 @@ class Nic(PcieDevice):
     def _on_doorbell(self, offset: int, data: bytes) -> None:
         value = int.from_bytes(data[:4], "little")
         index, reg = divmod(offset, _CHANNEL_STRIDE)
+        tracer = self.sim.tracer
+        if tracer is not None and reg in (_SEND_DB, _RECV_DB):
+            kind = "tx" if reg == _SEND_DB else "rx"
+            tracer.instant("nic.doorbell", track=f"dev:{self.name}",
+                           name=f"{kind}{index} tail={value}",
+                           channel=index, kind=kind, tail=value)
         if reg == _SEND_DB:
             if index >= len(self._tx_channels):
                 raise ProtocolError(f"send doorbell for channel {index} "
@@ -214,7 +220,14 @@ class Nic(PcieDevice):
             raw = yield from self.dma_read(
                 tx.ring_addr + slot * SEND_DESC_SIZE, SEND_DESC_SIZE)
             desc = SendDescriptor.unpack(raw)
+            tracer = self.sim.tracer
+            span = None if tracer is None else tracer.begin(
+                "nic.tx", track=f"dev:{self.name}",
+                name=f"tx{index} {desc.payload_len}B",
+                channel=index, size=desc.payload_len, lso=bool(desc.lso))
             yield from self._transmit(desc)
+            if span is not None:
+                span.end()
             tx.consumed += 1
             yield from self.dma_write(
                 tx.status_addr,
@@ -339,6 +352,11 @@ class Nic(PcieDevice):
 
     def _receive(self, rx: _RxChannel, raw_frame: bytes, index: int,
                  desc: RecvDescriptor, prev_done, done):
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "nic.rx", track=f"dev:{self.name}",
+            name=f"rx frame {len(raw_frame)}B", size=len(raw_frame),
+            desc_index=index)
         yield self.sim.timeout(self.config.frame_overhead)
         try:
             parse_frame(raw_frame)  # MAC validation (headers + checksums)
@@ -349,6 +367,8 @@ class Nic(PcieDevice):
             rx.buffers.appendleft((index, desc))
             if prev_done is not None and not prev_done.processed:
                 yield prev_done
+            if span is not None:
+                span.end(dropped=True)
             done.succeed()
             return
         if desc.hdr_addr:
@@ -380,6 +400,8 @@ class Nic(PcieDevice):
         yield from self.dma_write(
             rx.status_addr, (rx.produced & 0xFFFFFFFF).to_bytes(4, "little"))
         self.frames_received += 1
+        if span is not None:
+            span.end()
         done.succeed()
         if rx.interrupt:
             channel_index = self._rx_channels.index(rx)

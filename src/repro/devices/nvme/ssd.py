@@ -152,6 +152,11 @@ class NvmeSsd(PcieDevice):
                 f"doorbell value {value} out of range for depth {state.depth}")
         if is_cq:
             return  # CQ head updates only matter for overrun we don't model
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("nvme.doorbell", track=f"dev:{self.name}",
+                           name=f"sq{qid} tail={value}", qid=qid,
+                           tail=value)
         state.sq_tail = value
         wake, state.wake = state.wake, self.sim.event()
         wake.succeed()
@@ -171,7 +176,16 @@ class NvmeSsd(PcieDevice):
             state.inflight += 1
             self.sim.process(self._execute(state, command))
 
+    _OPCODE_NAMES = {OP_READ: "read", OP_WRITE: "write", OP_FLUSH: "flush"}
+
     def _execute(self, state: _QueueState, command: NvmeCommand):
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "nvme.command", track=f"dev:{self.name}",
+            name=f"{self._OPCODE_NAMES.get(command.opcode, 'op')} "
+                 f"{command.byte_length}B",
+            qid=state.qid, cid=command.cid, opcode=command.opcode,
+            slba=command.slba, size=command.byte_length)
         with self._channels.request() as channel:
             yield channel
             yield self.sim.timeout(self.config.command_overhead)
@@ -188,6 +202,8 @@ class NvmeSsd(PcieDevice):
             except (DeviceError, ProtocolError):
                 status = 2  # internal error surfaced as failed status
         yield from self._post_completion(state, command, status)
+        if span is not None:
+            span.end(status=status)
 
     def _transfer_addresses(self, command: NvmeCommand):
         """Process: resolve the command's PRPs into (addr, length) spans."""
@@ -263,6 +279,11 @@ class NvmeSsd(PcieDevice):
                 state.cq_tail = 0
                 state.cq_phase ^= 1
             yield from self.dma_write(addr, cqe.pack())
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("nvme.cqe", track=f"dev:{self.name}",
+                           name=f"cqe q{state.qid} cid={command.cid}",
+                           qid=state.qid, cid=command.cid, status=status)
         state.inflight -= 1
         state.completed += 1
         self.commands_processed += 1

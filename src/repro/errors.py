@@ -29,3 +29,7 @@ class AllocationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A scheme or experiment was configured inconsistently."""
+
+
+class TraceError(ReproError):
+    """The tracing contract was violated (unknown event type, bad span)."""

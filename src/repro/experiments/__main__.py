@@ -1,13 +1,22 @@
-"""Run every reproduced table and figure and print the results.
+"""Run reproduced tables and figures and print the results.
 
 Usage::
 
-    python -m repro.experiments            # everything (few minutes)
-    python -m repro.experiments --fast     # skip the app-scale runs
+    python -m repro.experiments                     # everything (few minutes)
+    python -m repro.experiments --fast              # skip the app-scale runs
+    python -m repro.experiments fig11 table1        # just these experiments
+    python -m repro.experiments --trace out.json headline
+                                                    # + Chrome/Perfetto trace
+    python -m repro.experiments --trace-jsonl out.jsonl fig11
+                                                    # + flat JSONL trace
+
+Trace output loads in https://ui.perfetto.dev (or chrome://tracing); the
+schema is documented in ``docs/tracing.md``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -15,25 +24,92 @@ from repro.experiments import (run_fig11, run_fig12_hdfs, run_fig12_swift,
                                run_fig13, run_fig13_validate, run_fig3,
                                run_fig8, run_headline, run_sweep,
                                run_table1, run_table3, run_table4)
+from repro.trace import (TraceSession, trace_section, write_chrome,
+                         write_jsonl)
 
-FAST = [("Table I", run_table1), ("Table III", run_table3),
-        ("Table IV", run_table4), ("Fig 3", run_fig3),
-        ("Fig 8", run_fig8), ("Fig 11", run_fig11),
-        ("Size sweep", run_sweep)]
+# slug -> (display label, runner, fast?).  Slugs are the CLI names.
+EXPERIMENTS = {
+    "table1": ("Table I", run_table1, True),
+    "table3": ("Table III", run_table3, True),
+    "table4": ("Table IV", run_table4, True),
+    "fig3": ("Fig 3", run_fig3, True),
+    "fig8": ("Fig 8", run_fig8, True),
+    "fig11": ("Fig 11", run_fig11, True),
+    "sweep": ("Size sweep", run_sweep, True),
+    "fig12a": ("Fig 12a", run_fig12_swift, False),
+    "fig12b": ("Fig 12b", run_fig12_hdfs, False),
+    "fig13": ("Fig 13", run_fig13, False),
+    "fig13v": ("Fig 13 validated", run_fig13_validate, False),
+    "headline": ("Headline", run_headline, False),
+}
 
-SLOW = [("Fig 12a", run_fig12_swift), ("Fig 12b", run_fig12_hdfs),
-        ("Fig 13", run_fig13), ("Fig 13 validated", run_fig13_validate),
-        ("Headline", run_headline)]
+
+def _parse(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help=f"subset to run: {', '.join(EXPERIMENTS)} "
+                             "(default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the app-scale (Fig 12/13, headline) runs")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="write a Chrome trace-event JSON "
+                             "(Perfetto-loadable) of the run")
+    parser.add_argument("--trace-jsonl", metavar="OUT.jsonl", default=None,
+                        help="write a flat JSONL event stream of the run")
+    return parser.parse_args(argv)
 
 
 def main(argv: list[str]) -> int:
-    fast_only = "--fast" in argv
-    runners = FAST if fast_only else FAST + SLOW
-    for label, runner in runners:
-        start = time.time()
-        result = runner()
-        print(result.render())
-        print(f"[{label} regenerated in {time.time() - start:.1f}s]\n")
+    opts = _parse(argv)
+    unknown = [slug for slug in opts.experiments if slug not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if opts.experiments:
+        slugs = opts.experiments
+    else:
+        slugs = [slug for slug, (_, _, fast) in EXPERIMENTS.items()
+                 if fast or not opts.fast]
+
+    # Fail on an unwritable trace path before spending minutes running
+    # experiments, not after.
+    for path in (opts.trace, opts.trace_jsonl):
+        if path is not None:
+            try:
+                with open(path, "w", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"cannot write trace output {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+    tracing = opts.trace is not None or opts.trace_jsonl is not None
+    session = TraceSession(label="experiments") if tracing else None
+    if session is not None:
+        session.install()
+    try:
+        for slug in slugs:
+            label, runner, _ = EXPERIMENTS[slug]
+            start = time.time()
+            with trace_section(slug):
+                result = runner()
+            print(result.render())
+            print(f"[{label} regenerated in {time.time() - start:.1f}s]\n")
+    finally:
+        if session is not None:
+            session.uninstall()
+            session.finalize()
+    if session is not None:
+        if opts.trace is not None:
+            count = write_chrome(opts.trace, session)
+            print(f"[trace: {count} events -> {opts.trace} "
+                  "(load in ui.perfetto.dev)]")
+        if opts.trace_jsonl is not None:
+            write_jsonl(opts.trace_jsonl, session)
+            print(f"[trace: JSONL -> {opts.trace_jsonl}]")
     return 0
 
 

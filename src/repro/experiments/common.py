@@ -7,6 +7,7 @@ from typing import Optional, Type
 from repro.host.costs import CAT
 from repro.schemes import Testbed
 from repro.schemes.base import Scheme, TransferResult
+from repro.trace import trace_section
 from repro.units import KIB
 
 MICROBENCH_SIZE = 4 * KIB   # the paper's per-command transfer unit
@@ -32,12 +33,13 @@ def measure_send(scheme_cls: Type[Scheme], processing: Optional[str],
                  size: int = MICROBENCH_SIZE, seed: int = 5,
                  warmups: int = 1) -> TransferResult:
     """One steady-state send_file measurement on a fresh testbed."""
-    tb = Testbed(seed=seed)
-    scheme = scheme_cls(tb)
-    data = bytes((i * 7) % 256 for i in range(size))
-    for index in range(warmups):
-        _run_one(tb, scheme, data, f"warm-{index}.dat", processing)
-    return _run_one(tb, scheme, data, "measure.dat", processing)
+    with trace_section(f"{scheme_cls.name}/{processing or 'none'}"):
+        tb = Testbed(seed=seed)
+        scheme = scheme_cls(tb)
+        data = bytes((i * 7) % 256 for i in range(size))
+        for index in range(warmups):
+            _run_one(tb, scheme, data, f"warm-{index}.dat", processing)
+        return _run_one(tb, scheme, data, "measure.dat", processing)
 
 
 def _run_one(tb: Testbed, scheme: Scheme, data: bytes, name: str,
@@ -73,10 +75,11 @@ def measure_send_cpu(scheme_cls: Type[Scheme], processing: Optional[str],
                      ) -> dict[str, float]:
     """CPU busy-time (ns per request, by category) of one steady-state
     send on node0."""
-    tb = Testbed(seed=seed)
-    scheme = scheme_cls(tb)
-    data = bytes((i * 7) % 256 for i in range(size))
-    _run_one(tb, scheme, data, "warm.dat", processing)
-    tb.node0.host.cpu.tracker.reset_window()
-    _run_one(tb, scheme, data, "measure.dat", processing)
-    return dict(tb.node0.host.cpu.tracker.by_category())
+    with trace_section(f"{scheme_cls.name}/cpu/{processing or 'none'}"):
+        tb = Testbed(seed=seed)
+        scheme = scheme_cls(tb)
+        data = bytes((i * 7) % 256 for i in range(size))
+        _run_one(tb, scheme, data, "warm.dat", processing)
+        tb.node0.host.cpu.tracker.reset_window()
+        _run_one(tb, scheme, data, "measure.dat", processing)
+        return dict(tb.node0.host.cpu.tracker.by_category())

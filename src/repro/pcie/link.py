@@ -10,6 +10,7 @@ behaviour as credit-based flow control at full load.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
@@ -43,9 +44,11 @@ LINK_GEN2_X16 = LinkConfig("gen2-x16", lanes=16, raw_per_lane_mbytes=500.0)
 class PcieLink:
     """A full-duplex link with FIFO per-direction occupancy."""
 
-    def __init__(self, sim: Simulator, config: LinkConfig):
+    def __init__(self, sim: Simulator, config: LinkConfig,
+                 name: Optional[str] = None):
         self.sim = sim
         self.config = config
+        self.name = name if name is not None else config.name
         self.rate = config.effective_rate()
         # Direction names follow the device's point of view.
         self.tx = Resource(sim, capacity=1)  # device -> switch
@@ -57,13 +60,19 @@ class PcieLink:
 
     def occupy_tx(self, size: int):
         """Process: hold the TX direction for ``size`` bytes' worth of time."""
-        return self._occupy(self.tx, size)
+        return self._occupy(self.tx, size, "tx")
 
     def occupy_rx(self, size: int):
         """Process: hold the RX direction for ``size`` bytes' worth of time."""
-        return self._occupy(self.rx, size)
+        return self._occupy(self.rx, size, "rx")
 
-    def _occupy(self, direction: Resource, size: int):
+    def _occupy(self, direction: Resource, size: int, label: str):
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "tlp.send", track=f"link:{self.name}", name=f"{label} {size}B",
+            link=self.name, direction=label, size=size)
         with direction.request() as req:
             yield req
             yield self.sim.timeout(self.serialization(size))
+        if span is not None:
+            span.end()

@@ -63,7 +63,8 @@ class Fabric:
         """Attach a device (or the root complex) to the switch."""
         if name in self._ports:
             raise SimulationError(f"duplicate port {name!r}")
-        self._ports[name] = _Port(name, PcieLink(self.sim, link_config))
+        self._ports[name] = _Port(name, PcieLink(self.sim, link_config,
+                                                 name=name))
 
     def add_region(self, region: MemoryRegion) -> MemoryRegion:
         """Register an addressable window owned by one of the ports."""
@@ -111,10 +112,17 @@ class Fabric:
             region.write(addr, data)
             return len(data)
         dst = self._port(region.port)
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "dma.write", track=f"pcie:{initiator}",
+            name=f"dma.write -> {region.port}", initiator=initiator,
+            target=region.port, addr=addr, size=len(data))
         yield self.sim.timeout(2 * HOP_FORWARD_NS + region.access_latency)
         yield from self._occupy_path(src.link, dst.link, len(data))
         region.write(addr, data)
         self._account(src, dst, len(data))
+        if span is not None:
+            span.end()
         return len(data)
 
     def dma_read(self, initiator: str, addr: int, length: int):
@@ -128,11 +136,18 @@ class Fabric:
         if region.port == initiator:
             return region.read(addr, length)
         src = self._port(region.port)
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "dma.read", track=f"pcie:{initiator}",
+            name=f"dma.read <- {region.port}", initiator=initiator,
+            target=region.port, addr=addr, size=length)
         yield self.sim.timeout(READ_REQUEST_NS + 2 * HOP_FORWARD_NS
                                + region.access_latency)
         yield from self._occupy_path(src.link, dst.link, length)
         data = region.read(addr, length)
         self._account(src, dst, length)
+        if span is not None:
+            span.end()
         return data
 
     def _occupy_path(self, src_link, dst_link, size: int):
@@ -143,14 +158,22 @@ class Fabric:
         how switched PCIe behaves (TLPs from different sources
         interleave).
 
-        The two directions are acquired in a single global order (object
-        identity), so transfers contending for overlapping link pairs
-        can never hold-and-wait in a cycle (no deadlock).
+        The two directions are acquired in a single global order (link
+        name + direction, a stable total order over the per-direction
+        resources), so transfers contending for overlapping link pairs
+        can never hold-and-wait in a cycle (no deadlock).  The order
+        must not depend on object identity: ``id()`` varies between
+        runs in one process and would break trace determinism.
         """
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "tlp.send", track=f"link:{src_link.name}",
+            name=f"{src_link.name}->{dst_link.name} {size}B",
+            src=src_link.name, dst=dst_link.name, size=size)
         src_dur = src_link.serialization(size)
         dst_dur = dst_link.serialization(size)
         first, second = (src_link.tx, src_dur), (dst_link.rx, dst_dur)
-        if id(second[0]) < id(first[0]):
+        if (dst_link.name or "", "rx") < (src_link.name or "", "tx"):
             first, second = second, first
         req_a = first[0].request()
         yield req_a
@@ -164,6 +187,8 @@ class Fabric:
         short[0].release(held[short[0]])
         yield self.sim.timeout(long[1] - short[1])
         long[0].release(held[long[0]])
+        if span is not None:
+            span.end()
 
     def mmio_write(self, initiator: str, addr: int, data: bytes):
         """Process: a small posted register write (doorbell-class).
@@ -173,16 +198,30 @@ class Fabric:
         """
         region = self.address_map.resolve(addr, len(data))
         self._port(initiator).stats.doorbells += 1
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "doorbell.ring", track=f"pcie:{initiator}",
+            name=f"doorbell -> {region.port}", initiator=initiator,
+            target=region.port, addr=addr, size=len(data))
         if region.port != initiator:
             yield self.sim.timeout(DOORBELL_WRITE_NS)
         region.write(addr, data)
+        if span is not None:
+            span.end()
 
     def mmio_read(self, initiator: str, addr: int, length: int):
         """Process: a small non-posted register read; returns the bytes."""
         region = self.address_map.resolve(addr, length)
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "mmio.read", track=f"pcie:{initiator}",
+            name=f"mmio.read <- {region.port}", initiator=initiator,
+            target=region.port, addr=addr, size=length)
         if region.port != initiator:
             # Round trip: request out, completion back.
             yield self.sim.timeout(READ_REQUEST_NS + DOORBELL_WRITE_NS)
+        if span is not None:
+            span.end()
         return region.read(addr, length)
 
     def msi(self, initiator: str, target_port: str = "host", vector: int = 0):
@@ -192,7 +231,14 @@ class Fabric:
             raise SimulationError(
                 f"no MSI handler registered on port {target_port!r}")
         self._port(initiator).stats.interrupts += 1
+        tracer = self.sim.tracer
+        span = None if tracer is None else tracer.begin(
+            "irq.deliver", track=f"pcie:{initiator}",
+            name=f"irq {initiator}#{vector}", initiator=initiator,
+            target=target_port, vector=vector)
         yield self.sim.timeout(MSI_LATENCY_NS)
+        if span is not None:
+            span.end()
         handler(initiator, vector)
 
     # -- accounting --------------------------------------------------------

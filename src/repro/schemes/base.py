@@ -105,5 +105,9 @@ class Scheme:
             raise ConfigurationError(
                 f"{self.name} cannot compute {processing!r} in flight")
 
-    def _trace(self, trace) -> LatencyTrace:
-        return trace if trace is not None else LatencyTrace(self.sim)
+    def _trace(self, trace, op: str = "request", **args) -> LatencyTrace:
+        if trace is None:
+            trace = LatencyTrace(self.sim)
+        # Root the request in the event trace (no-op when tracing is off
+        # or the caller already bound the trace to an earlier operation).
+        return trace.bind(op=f"{self.name}:{op}", scheme=self.name, **args)

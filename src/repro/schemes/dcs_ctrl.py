@@ -54,7 +54,8 @@ class DcsCtrlScheme(Scheme):
                   offset: int, size: int, processing: Optional[str] = None,
                   trace=None):
         self._check_processing(processing)
-        trace = self._trace(trace)
+        trace = self._trace(trace, op="send", size=size,
+                            processing=processing or "none")
         file_fd = self._file_fd(node, name, writable=False)
         sock_fd = self._socket_fd(node, conn)
         completion = yield from node.library.hdc_sendfile(
@@ -88,7 +89,8 @@ class DcsCtrlScheme(Scheme):
                         offset: int, size: int,
                         processing: Optional[str] = None, trace=None):
         self._check_processing(processing)
-        trace = self._trace(trace)
+        trace = self._trace(trace, op="recv", size=size,
+                            processing=processing or "none")
         file_fd = self._file_fd(node, name, writable=True)
         sock_fd = self._socket_fd(node, conn)
         completion = yield from node.library.hdc_recvfile(

@@ -26,7 +26,8 @@ class SwOptScheme(Scheme):
                   offset: int, size: int, processing: Optional[str] = None,
                   trace=None):
         self._check_processing(processing)
-        trace = self._trace(trace)
+        trace = self._trace(trace, op="send", size=size,
+                            processing=processing or "none")
         kernel = node.host.kernel
         buf = node.host.alloc_buffer(size)
         try:
@@ -52,7 +53,8 @@ class SwOptScheme(Scheme):
                         offset: int, size: int,
                         processing: Optional[str] = None, trace=None):
         self._check_processing(processing)
-        trace = self._trace(trace)
+        trace = self._trace(trace, op="recv", size=size,
+                            processing=processing or "none")
         kernel = node.host.kernel
         buf = node.host.alloc_buffer(size)
         try:

@@ -41,7 +41,8 @@ class SwP2pScheme(SwOptScheme):
             return (yield from super().send_file(node, conn, name, offset,
                                                  size, None, trace))
         self._check_processing(processing)
-        trace = self._trace(trace)
+        trace = self._trace(trace, op="send", size=size,
+                            processing=processing or "none")
         host = node.host
         kernel = host.kernel
         gpu = host.gpu

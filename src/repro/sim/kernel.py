@@ -19,6 +19,7 @@ from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.trace.tracer import tracer_for_new_sim
 
 
 class Process(Event):
@@ -37,6 +38,14 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        tracer = sim.tracer
+        if tracer is None:
+            self._span = None
+        else:
+            code = getattr(generator, "gi_code", None)
+            self._span = tracer.begin(
+                "proc.run", track="processes",
+                name=code.co_name if code is not None else "process")
         # Bootstrap: resume the generator as soon as the loop starts.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
@@ -47,6 +56,11 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    def _finish_span(self, failed: bool = False) -> None:
+        if self._span is not None:
+            span, self._span = self._span, None
+            span.end(failed=True) if failed else span.end()
+
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
@@ -55,9 +69,11 @@ class Process(Event):
             else:
                 target = self._generator.send(event._value)
         except StopIteration as stop:
+            self._finish_span()
             self.succeed(stop.value)
             return
         except BaseException as exc:
+            self._finish_span(failed=True)
             self.fail(exc)
             return
         if not isinstance(target, Event):
@@ -67,11 +83,14 @@ class Process(Event):
             try:
                 self._generator.throw(exc)
             except StopIteration as stop:
+                self._finish_span()
                 self.succeed(stop.value)
             except BaseException as inner:
+                self._finish_span(failed=True)
                 self.fail(inner)
             return
         if target.sim is not self.sim:
+            self._finish_span(failed=True)
             self.fail(SimulationError("yielded an event from another simulator"))
             return
         self._waiting_on = target
@@ -100,6 +119,10 @@ class Simulator:
         self._heap: list[tuple[int, int, Event]] = []
         self._sequence: int = 0
         self._active: bool = False
+        # None unless a repro.trace.TraceSession is installed — every
+        # instrumentation site guards on this, so tracing costs one
+        # attribute check when off.
+        self.tracer = tracer_for_new_sim(self)
 
     # -- event construction ---------------------------------------------
 

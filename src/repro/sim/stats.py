@@ -40,8 +40,15 @@ class BusyTracker:
         self._busy[category] += duration
 
     def reset_window(self) -> None:
-        """Start a fresh measurement window at the current time."""
-        self._busy.clear()
+        """Start a fresh measurement window at the current time.
+
+        Categories seen before the reset stay present (at zero) so that
+        readers iterating a stable category set — e.g. a Fig 12 series
+        differencing windows — see consistent keys rather than a
+        KeyError or a stale pre-reset value.
+        """
+        for category in self._busy:
+            self._busy[category] = 0
         self._window_start = self.sim.now
 
     def total(self, category: Optional[str] = None) -> int:

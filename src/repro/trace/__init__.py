@@ -1,0 +1,23 @@
+"""Structured simulation tracing (spans, exporters, critical path).
+
+See ``docs/tracing.md`` for the full event taxonomy and field
+semantics — the trace schema is a documented contract, enforced by
+``make docs-check``.
+"""
+
+from repro.trace.critical_path import (RequestBreakdown, last_breakdown,
+                                       request_breakdowns)
+from repro.trace.events import EVENT_TYPES, is_registered
+from repro.trace.export import (jsonl_lines, to_chrome, write_chrome,
+                                write_jsonl)
+from repro.trace.tracer import (Span, TraceEvent, Tracer, TraceSession,
+                                current_session, trace_section,
+                                tracer_for_new_sim)
+
+__all__ = [
+    "EVENT_TYPES", "is_registered",
+    "Span", "TraceEvent", "Tracer", "TraceSession",
+    "current_session", "trace_section", "tracer_for_new_sim",
+    "jsonl_lines", "to_chrome", "write_chrome", "write_jsonl",
+    "RequestBreakdown", "request_breakdowns", "last_breakdown",
+]

@@ -1,0 +1,282 @@
+"""Structured simulation tracing: typed spans and instants with causality.
+
+One :class:`Tracer` rides one :class:`~repro.sim.kernel.Simulator` and
+records :class:`TraceEvent` objects on the *simulated* clock (integer
+nanoseconds).  Tracing is **off by default and zero-overhead when off**:
+``Simulator.tracer`` is ``None`` unless a :class:`TraceSession` is
+installed, and every instrumentation site guards with a single
+``is not None`` check.
+
+Event types are a closed, documented set (:mod:`repro.trace.events` and
+``docs/tracing.md``); emitting an unregistered type raises
+:class:`~repro.errors.TraceError`.  Causality is explicit: a span or
+instant may name a ``parent`` (another span/event), which exporters and
+the critical-path summarizer use to group a request's events.
+
+Determinism: event ids are per-tracer counters, timestamps are simulated
+time, and no wall-clock or ``id()`` values are recorded — two runs of
+the same seeded simulation produce byte-identical JSONL exports (see
+``tests/test_trace_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import TraceError
+from repro.trace.events import EVENT_TYPES
+
+
+class TraceEvent:
+    """One recorded event.
+
+    ``duration`` is ``None`` for instants; spans record the closed
+    interval ``[start, start + duration]`` in simulated ns.
+    """
+
+    __slots__ = ("id", "parent_id", "type", "name", "track", "start",
+                 "duration", "args")
+
+    def __init__(self, event_id: int, event_type: str, track: str,
+                 start: int, duration: Optional[int] = None,
+                 name: Optional[str] = None,
+                 parent_id: Optional[int] = None,
+                 args: Optional[Dict[str, Any]] = None):
+        self.id = event_id
+        self.parent_id = parent_id
+        self.type = event_type
+        self.name = name if name is not None else event_type
+        self.track = track
+        self.start = start
+        self.duration = duration
+        self.args = args or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = "instant" if self.duration is None else f"dur={self.duration}"
+        return (f"TraceEvent(#{self.id} {self.type} {self.name!r} "
+                f"@{self.start} {dur})")
+
+
+ParentLike = Union["Span", TraceEvent, int, None]
+
+
+def _parent_id(parent: ParentLike) -> Optional[int]:
+    if parent is None or isinstance(parent, int):
+        return parent
+    return parent.id
+
+
+class Span:
+    """An open span; :meth:`end` closes it and records the event."""
+
+    __slots__ = ("_tracer", "id", "type", "name", "track", "start",
+                 "parent_id", "args", "_ended")
+
+    def __init__(self, tracer: "Tracer", span_id: int, event_type: str,
+                 track: str, start: int, name: Optional[str],
+                 parent_id: Optional[int], args: Dict[str, Any]):
+        self._tracer = tracer
+        self.id = span_id
+        self.type = event_type
+        self.name = name
+        self.track = track
+        self.start = start
+        self.parent_id = parent_id
+        self.args = args
+        self._ended = False
+
+    def end(self, **extra_args: Any) -> Optional[TraceEvent]:
+        """Close the span at the current simulated time."""
+        if self._ended:
+            return None
+        self._ended = True
+        if extra_args:
+            self.args.update(extra_args)
+        return self._tracer._close(self)
+
+
+class Tracer:
+    """Collects events for one simulator (one ``pid`` in Chrome terms)."""
+
+    enabled = True
+
+    def __init__(self, sim, label: str = "sim"):
+        self.sim = sim
+        self.label = label
+        self.events: List[TraceEvent] = []
+        self._next_id = 1
+        self._open: Dict[int, Span] = {}
+
+    # -- emission ---------------------------------------------------------
+
+    def _take_id(self, event_type: str) -> int:
+        if event_type not in EVENT_TYPES:
+            raise TraceError(
+                f"event type {event_type!r} is not in the documented "
+                "taxonomy (repro/trace/events.py); register and document "
+                "it before emitting")
+        event_id = self._next_id
+        self._next_id += 1
+        return event_id
+
+    def begin(self, event_type: str, track: str, name: Optional[str] = None,
+              parent: ParentLike = None, **args: Any) -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(self, self._take_id(event_type), event_type, track,
+                    self.sim.now, name, _parent_id(parent), args)
+        self._open[span.id] = span
+        return span
+
+    def _close(self, span: Span) -> TraceEvent:
+        self._open.pop(span.id, None)
+        event = TraceEvent(span.id, span.type, span.track, span.start,
+                           duration=self.sim.now - span.start,
+                           name=span.name, parent_id=span.parent_id,
+                           args=span.args)
+        self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(self, event_type: str, track: str, name: Optional[str] = None,
+             parent: ParentLike = None, **args: Any):
+        """Span context manager; safe around ``yield``-ing simulation code
+        (only the simulated clock is sampled)."""
+        handle = self.begin(event_type, track, name=name, parent=parent,
+                            **args)
+        try:
+            yield handle
+        finally:
+            handle.end()
+
+    def instant(self, event_type: str, track: str,
+                name: Optional[str] = None, parent: ParentLike = None,
+                **args: Any) -> TraceEvent:
+        """Record a zero-duration event at the current simulated time."""
+        event = TraceEvent(self._take_id(event_type), event_type, track,
+                           self.sim.now, duration=None, name=name,
+                           parent_id=_parent_id(parent), args=args)
+        self.events.append(event)
+        return event
+
+    def complete(self, event_type: str, track: str, start: int,
+                 duration: int, name: Optional[str] = None,
+                 parent: ParentLike = None, **args: Any) -> TraceEvent:
+        """Record an already-finished span (after-the-fact attribution,
+        e.g. the engine's per-stage profile)."""
+        if duration < 0:
+            raise TraceError(f"negative span duration: {duration}")
+        event = TraceEvent(self._take_id(event_type), event_type, track,
+                           start, duration=duration, name=name,
+                           parent_id=_parent_id(parent), args=args)
+        self.events.append(event)
+        return event
+
+    # -- lifecycle --------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close any still-open spans (device loops run forever); they are
+        marked ``unterminated`` so consumers can tell."""
+        for span in list(self._open.values()):
+            span.end(unterminated=True)
+
+    def sorted_events(self) -> List[TraceEvent]:
+        """Events in (start, id) order — the canonical export order."""
+        return sorted(self.events, key=lambda e: (e.start, e.id))
+
+
+# ---------------------------------------------------------------------------
+# Session management: one TraceSession covers a whole experiment run and
+# hands a fresh Tracer to every Simulator constructed while installed.
+# ---------------------------------------------------------------------------
+
+_ACTIVE_SESSION: Optional["TraceSession"] = None
+
+
+class TraceSession:
+    """Collects the tracers of every simulator built while installed.
+
+    Use as a context manager (preferred) or via
+    :meth:`install`/:meth:`uninstall`::
+
+        with TraceSession() as session:
+            session.set_label("fig11")
+            run_fig11()
+        write_chrome("out.json", session)
+    """
+
+    def __init__(self, label: str = "run"):
+        self.tracers: List[Tracer] = []
+        self._label = label
+        self._counter = 0
+
+    # -- install ----------------------------------------------------------
+
+    def install(self) -> "TraceSession":
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is not None and _ACTIVE_SESSION is not self:
+            raise TraceError("another TraceSession is already installed")
+        _ACTIVE_SESSION = self
+        return self
+
+    def uninstall(self) -> None:
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is self:
+            _ACTIVE_SESSION = None
+
+    def __enter__(self) -> "TraceSession":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+        self.finalize()
+
+    # -- labelling --------------------------------------------------------
+
+    def set_label(self, label: str) -> str:
+        """Label simulators created from now on; returns the old label."""
+        previous, self._label = self._label, label
+        return previous
+
+    # -- tracer factory ---------------------------------------------------
+
+    def tracer_for(self, sim) -> Tracer:
+        tracer = Tracer(sim, label=f"{self._label}/sim{self._counter}")
+        self._counter += 1
+        self.tracers.append(tracer)
+        return tracer
+
+    def finalize(self) -> None:
+        for tracer in self.tracers:
+            tracer.finalize()
+
+    def all_events(self) -> List[TraceEvent]:
+        return [event for tracer in self.tracers for event in tracer.events]
+
+
+def current_session() -> Optional[TraceSession]:
+    """The installed session, or None (tracing off)."""
+    return _ACTIVE_SESSION
+
+
+def tracer_for_new_sim(sim) -> Optional[Tracer]:
+    """Called by ``Simulator.__init__``: a tracer when a session is
+    installed, else ``None`` (the zero-overhead default)."""
+    if _ACTIVE_SESSION is None:
+        return None
+    return _ACTIVE_SESSION.tracer_for(sim)
+
+
+@contextmanager
+def trace_section(label: str):
+    """Label every simulator built inside the block (no-op when tracing
+    is off) — the hook the experiment runners use."""
+    session = current_session()
+    if session is None:
+        yield
+        return
+    previous = session.set_label(label)
+    try:
+        yield
+    finally:
+        session.set_label(previous)

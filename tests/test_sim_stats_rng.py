@@ -62,6 +62,21 @@ class TestBusyTracker:
         assert tracker.total() == 0
         assert tracker.window() == 0
 
+    def test_reset_window_keeps_categories_at_zero(self, sim):
+        # Regression: categories touched before the reset must read as
+        # zero afterwards (present in by_category, not stale, no
+        # KeyError) so window-differencing readers see stable keys.
+        tracker = BusyTracker(sim)
+        tracker.add("filesystem", 500)
+        tracker.add("network", 300)
+        tracker.reset_window()
+        assert tracker.by_category() == {"filesystem": 0, "network": 0}
+        assert tracker.total("filesystem") == 0
+        assert tracker.utilization_by_category() == {"filesystem": 0.0,
+                                                     "network": 0.0}
+        tracker.add("filesystem", 100)
+        assert tracker.by_category() == {"filesystem": 100, "network": 0}
+
     def test_negative_duration_rejected(self, sim):
         tracker = BusyTracker(sim)
         with pytest.raises(SimulationError):

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench experiments trace-demo docs-check clean
+.PHONY: test bench experiments faults-smoke trace-demo docs-check clean
 
 test:            ## tier-1 suite (ROADMAP.md verify command)
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,9 @@ bench:           ## regenerate every table & figure with assertions
 
 experiments:     ## print all reproduced tables/figures
 	$(PYTHON) -m repro.experiments
+
+faults-smoke:    ## fault-rate sweep across all four schemes (docs/faults.md)
+	$(PYTHON) -m repro.experiments faults
 
 trace-demo:      ## traced headline run -> trace.json (ui.perfetto.dev)
 	$(PYTHON) -m repro.experiments --trace trace.json headline

@@ -39,6 +39,29 @@ class EntryState(enum.IntEnum):
     READY = 1     # eligible for issue
     ISSUE = 2     # running on a device controller / NDP unit
     DONE = 3
+    CANCELLED = 4  # never issued: a sibling entry failed first
+
+
+class D2DStatus(enum.IntEnum):
+    """Named D2D completion status codes.
+
+    Values are wire-compatible with the historical literals (2 =
+    device error, 3 = bad command); anything the driver does not
+    recognise renders through :meth:`describe`.
+    """
+
+    OK = 0
+    DEVICE_ERROR = 2   # a device stage failed (media error, bad state)
+    BAD_COMMAND = 3    # the command never made a valid plan
+    TIMEOUT = 4        # a stage's deadline expired (lost completion)
+    ABORTED = 5        # explicitly cancelled before it could finish
+
+    @classmethod
+    def describe(cls, status: int) -> str:
+        try:
+            return f"{cls(status).name}({status})"
+        except ValueError:
+            return f"status {status}"
 
 
 _CMD_FMT = "<IBBBBQQIQ"   # id, kind, func, flags, rsvd, src, dst, length, aux

@@ -27,7 +27,9 @@ from repro.core.controllers.bram import WatchableBram
 from repro.core.scoreboard import Executor
 from repro.devices.nic.descriptors import RecvDescriptor, SendDescriptor
 from repro.devices.nic.nic import Nic
-from repro.errors import DeviceError, ProtocolError
+from repro.errors import DeviceError, DeviceTimeout, ProtocolError
+from repro.faults import (ENGINE_NIC_RECV_POLICY, ENGINE_NIC_SEND_POLICY,
+                          active_faults, watchdog)
 from repro.memory.dram import FPGA_DDR3
 from repro.net.headers import EthernetHeader, Ipv4Header, TcpHeader
 from repro.net.packet import Frame, HEADER_LEN, TCP_MSS
@@ -105,6 +107,11 @@ class EngineNicController(Executor):
                                      for i in range(RING_DEPTH)]
         self._rx_pump_busy = False
         self.frames_gathered = 0
+        self.frames_discarded = 0
+        # Deadlines for the send-status and receive-gather waits; only
+        # armed while a fault plan is active.
+        self.send_policy = ENGINE_NIC_SEND_POLICY
+        self.recv_policy = ENGINE_NIC_RECV_POLICY
         # Hardware wake-ups: NIC status writes hit watchable BRAM.
         bram.watch(tx_status_addr, 4, self._on_tx_status)
         bram.watch(rx_status_addr, 4, self._on_rx_status)
@@ -206,7 +213,20 @@ class EngineNicController(Executor):
                     state.bytes_sent += batch
                 else:
                     waiter = inflight.popleft()
-                    yield waiter
+                    if active_faults(self.sim) is not None:
+                        watchdog(self.sim, waiter,
+                                 self.send_policy.deadline_for(entry.length),
+                                 f"NIC send flow {entry.dst}",
+                                 flow_id=entry.dst)
+                    try:
+                        yield waiter
+                    except DeviceTimeout:
+                        # Drop bookkeeping for every descriptor of this
+                        # send; a late status write must not fire them.
+                        for index, parked in list(self._tx_waiters.items()):
+                            if parked is waiter or parked in inflight:
+                                self._tx_waiters.pop(index)
+                        raise
         return None
 
     def _next_tx_hdr_slot(self) -> int:
@@ -233,7 +253,9 @@ class EngineNicController(Executor):
         consumed = self.send_ring.consumer_index()
         ready = [i for i in self._tx_waiters if i < consumed]
         for index in ready:
-            self._tx_waiters.pop(index).succeed()
+            waiter = self._tx_waiters.pop(index)
+            if not waiter.triggered:
+                waiter.succeed()
 
     # -- receive path ----------------------------------------------------------------
 
@@ -244,7 +266,18 @@ class EngineNicController(Executor):
         state.pending.append(pending)
         # Drain any backlog that arrived before this entry was issued.
         yield from self._drain_backlog(state)
-        yield pending.waiter
+        if active_faults(self.sim) is not None:
+            watchdog(self.sim, pending.waiter,
+                     self.recv_policy.deadline_for(entry.length),
+                     f"NIC recv flow {entry.src}", flow_id=entry.src,
+                     length=entry.length)
+        try:
+            yield pending.waiter
+        except DeviceTimeout:
+            # Stop gathering into a buffer the scoreboard will reclaim.
+            if pending in state.pending:
+                state.pending.remove(pending)
+            raise
         state.bytes_received += entry.length
         return None
 
@@ -270,8 +303,16 @@ class EngineNicController(Executor):
                     raise ProtocolError(
                         f"engine received frame for unknown connection "
                         f"{frame.ip.dst_ip}:{frame.tcp.dst_port}")
-                data = flow.accept(frame)
                 state = self._flow_state_of[id(flow)]
+                try:
+                    data = flow.accept(frame)
+                except ProtocolError:
+                    # Sequence gap: an upstream frame was lost on the
+                    # wire.  The model has no retransmission, so drop
+                    # the frame and let the recv deadline surface the
+                    # stalled entry.
+                    self.frames_discarded += 1
+                    data = b""
                 if data:
                     yield from self._steer(state, data)
                 # Recycle staging slot, header slot and descriptor; the
@@ -305,7 +346,8 @@ class EngineNicController(Executor):
             data = data[take:]
             if pending.copied == pending.length:
                 state.pending.popleft()
-                pending.waiter.succeed()
+                if not pending.waiter.triggered:
+                    pending.waiter.succeed()
 
     def _drain_backlog(self, state: _FlowState):
         if not state.backlog:

@@ -22,7 +22,8 @@ from repro.core.scoreboard import Executor
 from repro.devices.nvme.commands import (LBA_SIZE, NvmeCommand, OP_READ,
                                          OP_WRITE, prp_fields, prp_pages)
 from repro.devices.nvme.ssd import NvmeSsd
-from repro.errors import DeviceError
+from repro.errors import DeviceError, DeviceTimeout
+from repro.faults import ENGINE_NVME_POLICY, active_faults, watchdog
 from repro.pcie.switch import Fabric
 from repro.sim.kernel import Simulator
 from repro.units import PAGE, nsec
@@ -60,6 +61,11 @@ class EngineNvmeController(Executor):
         self._outstanding = 0
         self._poll_wake = sim.event()
         self.commands_issued = 0
+        self.retries = 0
+        self.stale_completions = 0
+        # Deadline/backoff knobs — what the RTL FSM's wait state would
+        # time out; tests may tighten these for speed.
+        self.policy = ENGINE_NVME_POLICY
         sim.process(self._completion_fsm())
 
     # -- executor interface ------------------------------------------------
@@ -74,22 +80,59 @@ class EngineNvmeController(Executor):
             raise DeviceError(f"bad NVMe entry direction {entry.rw!r}")
         nbytes = entry.length + (-entry.length % LBA_SIZE)
         max_chunk = self.max_chunk
-        waits = []
+        chunks = []         # (slba, nbytes, buf) per NVMe command
         offset = 0
         while offset < nbytes:
-            chunk = min(max_chunk, nbytes - offset)
-            waits.append((yield from self._issue(
-                opcode, slba + offset // LBA_SIZE, chunk, buf + offset)))
-            offset += chunk
-        for waiter in waits:
-            cqe = yield waiter
-            if not cqe.ok:
-                raise DeviceError(
-                    f"NVMe command failed with status {cqe.status}")
+            size = min(max_chunk, nbytes - offset)
+            chunks.append((slba + offset // LBA_SIZE, size, buf + offset))
+            offset += size
+        waits = []
+        for chunk in chunks:
+            waits.append((yield from self._issue(opcode, *chunk)))
+        for chunk, issued in zip(chunks, waits):
+            yield from self._complete_chunk(opcode, chunk, issued)
         return None
 
+    def _complete_chunk(self, opcode: int, chunk, issued):
+        """Process: await one command, re-issuing on error/timeout with
+        exponential backoff up to the policy's retry budget."""
+        policy = self.policy
+        cid, waiter = issued
+        attempt = 0
+        while True:
+            failure = None
+            if active_faults(self.sim) is not None:
+                watchdog(self.sim, waiter, policy.deadline_for(chunk[1]),
+                         f"engine NVMe cid {cid}", cid=cid,
+                         slba=chunk[0], size=chunk[1])
+            try:
+                cqe = yield waiter
+                if cqe.ok:
+                    return
+                failure = DeviceError(
+                    f"NVMe command failed with status {cqe.status}")
+            except DeviceTimeout as exc:
+                # Forget the lost command so the polling FSM can idle
+                # (its CQE, if it ever lands, is counted as stale).
+                if self._waiters.pop(cid, None) is not None:
+                    self._outstanding -= 1
+                failure = exc
+            if attempt >= policy.retries:
+                raise failure
+            attempt += 1
+            self.retries += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant("recover.retry", track="faults",
+                               name=f"engine NVMe retry {attempt}",
+                               cid=cid, attempt=attempt,
+                               reason=str(failure))
+            yield self.sim.timeout(policy.backoff(attempt))
+            cid, waiter = yield from self._issue(opcode, *chunk)
+
     def _issue(self, opcode: int, slba: int, nbytes: int, buf: int):
-        """Process: build and submit one NVMe command; returns its waiter."""
+        """Process: build and submit one NVMe command; returns its
+        ``(cid, waiter)`` pair."""
         yield self.sim.timeout(COMMAND_BUILD)
         cid = self.qp.allocate_cid()
         pages = prp_pages(buf, nbytes)
@@ -108,7 +151,7 @@ class EngineNvmeController(Executor):
         self.commands_issued += 1
         wake, self._poll_wake = self._poll_wake, self.sim.event()
         wake.succeed()
-        return waiter
+        return cid, waiter
 
     # -- completion polling FSM ----------------------------------------------
 
@@ -124,6 +167,12 @@ class EngineNvmeController(Executor):
             yield from self.qp.ring_cq(self.engine_port)
             waiter = self._waiters.pop(cqe.cid, None)
             if waiter is None:
-                raise DeviceError(f"unexpected completion cid {cqe.cid}")
+                # A completion for a command whose deadline already
+                # expired (e.g. slow rather than dropped) — discard.
+                self.stale_completions += 1
+                continue
             self._outstanding -= 1
-            waiter.succeed(cqe)
+            if waiter.triggered:
+                self.stale_completions += 1
+            else:
+                waiter.succeed(cqe)

@@ -19,13 +19,14 @@ from typing import Dict, Optional, Tuple
 
 from repro.analysis.breakdown import NULL_TRACE
 from repro.core.command import (COMPLETION_SIZE, D2DCommand, D2DCompletion,
-                                D2DKind, D2D_COMMAND_SIZE,
+                                D2DKind, D2DStatus, D2D_COMMAND_SIZE,
                                 FLAG_APPEND_DIGEST)
 from repro.core.engine import HDCEngine
 from repro.core.host_interface import COMMAND_QUEUE_DEPTH
 from repro.core.ndp.registry import FUNC_NONE, func_id
 from repro.devices.nvme.commands import LBA_SIZE
-from repro.errors import ConfigurationError, DeviceError
+from repro.errors import ConfigurationError, DeviceError, DeviceTimeout
+from repro.faults import D2D_WATCHDOG_POLICY, active_faults, watchdog
 from repro.host.costs import CAT
 from repro.host.machine import Host
 from repro.net.tcp import TcpFlow
@@ -49,6 +50,14 @@ class HdcDriver:
         self._announced = 0
         self._waiters: Dict[int, object] = {}
         self._flow_ids: Dict[int, int] = {}  # id(flow) -> engine flow id
+        # Flow-control waiters parked on a full command queue, woken by
+        # the completion path (no busy-polling).
+        self._slot_waiters: list = []
+        # D2D ids whose watchdog expired; a late completion for one is
+        # discarded without double-releasing its queue slot.
+        self._abandoned: set[int] = set()
+        self.late_completions = 0
+        self.watchdog_policy = D2D_WATCHDOG_POLICY
         host.irq.register(engine.port, vector=0, handler=self._on_irq)
 
     # -- construction ---------------------------------------------------------
@@ -147,10 +156,14 @@ class HdcDriver:
         profile into ``trace``.
         """
         costs = self.host.costs
-        # Flow control: at most depth-1 commands in flight.
+        # Flow control: at most depth-1 commands in flight.  Full-queue
+        # submitters park on an event the completion path triggers —
+        # no polling quantum, no wasted heap churn at depth.
         while (self._cmd_tail - self._completed
                >= COMMAND_QUEUE_DEPTH - 1):
-            yield self.sim.timeout(1000)
+            gate = self.sim.event()
+            self._slot_waiters.append(gate)
+            yield gate
         d2d_id = self._next_d2d_id
         self._next_d2d_id += 1
         # Reserve the command slot *before* any yield — concurrent
@@ -184,7 +197,24 @@ class HdcDriver:
         waiter = self.sim.event()
         self._waiters[d2d_id] = waiter
         submit_done = self.sim.now
-        completion, irq_at = yield waiter
+        # Watchdog (armed only when faults are injectable): a lost
+        # MSI/completion surfaces as DeviceTimeout instead of
+        # deadlocking sim.run() forever.
+        if active_faults(self.sim) is not None:
+            watchdog(self.sim, waiter,
+                     self.watchdog_policy.deadline_for(length),
+                     f"D2D command {d2d_id}", d2d_id=d2d_id)
+        try:
+            completion, irq_at = yield waiter
+        except DeviceTimeout:
+            # Abandon the command: release its queue slot exactly once
+            # (a late completion for it is discarded, not re-counted).
+            self._waiters.pop(d2d_id, None)
+            self._abandoned.add(d2d_id)
+            self._completed += 1
+            self._release_slots()
+            self.engine.task_stats.pop(d2d_id, {})
+            raise
         # Attribute the engine window using its stage profile.
         stats = self.engine.task_stats.pop(d2d_id, {})
         profiled = sum(stats.values())
@@ -200,10 +230,17 @@ class HdcDriver:
         if not completion.ok:
             raise DeviceError(
                 f"D2D command {d2d_id} failed with status "
-                f"{completion.status}")
+                f"{D2DStatus.describe(completion.status)}")
         return completion
 
     # -- completion path ----------------------------------------------------------------
+
+    def _release_slots(self) -> None:
+        """Wake every submitter parked on a full command queue."""
+        if self._slot_waiters:
+            waiters, self._slot_waiters = self._slot_waiters, []
+            for gate in waiters:
+                gate.succeed()
 
     def _on_irq(self) -> None:
         self.sim.process(self._irq_handler(self.sim.now))
@@ -221,11 +258,18 @@ class HdcDriver:
                 break
             self.host.fabric.address_map.write(addr, bytes(COMPLETION_SIZE))
             self._cpl_head += 1
+            if completion.d2d_id in self._abandoned:
+                # The watchdog already gave up on this command and
+                # released its slot; swallow the straggler.
+                self._abandoned.discard(completion.d2d_id)
+                self.late_completions += 1
+                continue
             self._completed += 1
+            self._release_slots()
             waiter = self._waiters.pop(completion.d2d_id, None)
-            if waiter is None:
-                raise DeviceError(
-                    f"completion for unknown D2D id {completion.d2d_id}")
+            if waiter is None or waiter.triggered:
+                self.late_completions += 1
+                continue
             waiter.succeed((completion, irq_at))
 
     # -- high-level operations -------------------------------------------------------------

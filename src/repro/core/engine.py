@@ -12,7 +12,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.buffers import EngineBuffers
 from repro.core.command import (D2DCommand, D2DCompletion, D2DKind,
-                                DeviceCommand, FLAG_APPEND_DIGEST)
+                                D2DStatus, DeviceCommand,
+                                FLAG_APPEND_DIGEST)
 from repro.core.controllers.bram import WatchableBram
 from repro.core.controllers.dma_ctrl import EngineDmaController
 from repro.core.controllers.ndp_exec import NdpExecutor
@@ -146,6 +147,7 @@ class HDCEngine:
             self._on_command)
         sim.process(self._completion_pump())
         self.tasks_completed = 0
+        self.tasks_failed = 0
         self.task_stats: dict[int, dict[str, int]] = {}
         self._task_started: dict[int, int] = {}
 
@@ -174,16 +176,18 @@ class HDCEngine:
         if span is not None:
             span.end()
         try:
-            entries, finalize = self._plan(command)
+            entries, finalize, abort = self._plan(command)
         except (ConfigurationError, AllocationError):
             # A malformed command (bad volume, unsupported kind, no
             # buffer space) must fail its completion, not hang the
             # submitter.
             self.host_interface.post_completion(
-                D2DCompletion(d2d_id=command.d2d_id, status=3))
+                D2DCompletion(d2d_id=command.d2d_id,
+                              status=int(D2DStatus.BAD_COMMAND)))
             return
         self._task_started[command.d2d_id] = self.sim.now
-        yield from self.scoreboard.admit(command.d2d_id, entries, finalize)
+        yield from self.scoreboard.admit(command.d2d_id, entries, finalize,
+                                         abort)
 
     @staticmethod
     def _stage_category(entry: DeviceCommand) -> str:
@@ -216,14 +220,15 @@ class HDCEngine:
         stats["scoreboard"] = max(0, window - covered)
         self.task_stats[d2d_id] = stats
 
-    def _plan(self, cmd: D2DCommand) -> Tuple[List[DeviceCommand], object]:
+    def _plan(self, cmd: D2DCommand
+              ) -> Tuple[List[DeviceCommand], object, object]:
         append = bool(cmd.flags & FLAG_APPEND_DIGEST)
         buf_size = cmd.length + (16 if append else 0)
         # GZIP may expand slightly on incompressible input.
         buf_size += 64 * KIB
-        buf = self.buffers.alloc_intermediate(buf_size)
-        entries: List[DeviceCommand] = []
 
+        # Validate everything *before* allocating the intermediate
+        # buffer — a rejected command must not leak DDR3 chunks.
         # SSD endpoints carry their volume index in the aux field
         # (low byte = source volume, next byte = destination volume).
         src_vol = cmd.aux & 0xFF
@@ -232,6 +237,13 @@ class HDCEngine:
             if vol >= len(self.nvme_ctrls):
                 raise ConfigurationError(
                     f"no SSD volume {vol} behind this engine")
+        if cmd.kind not in (D2DKind.SSD_TO_NIC, D2DKind.SSD_TO_HOST,
+                            D2DKind.SSD_TO_SSD, D2DKind.NIC_TO_SSD,
+                            D2DKind.NIC_TO_HOST, D2DKind.HOST_TO_NIC):
+            raise ConfigurationError(f"unsupported D2D kind {cmd.kind}")
+
+        buf = self.buffers.alloc_intermediate(buf_size)
+        entries: List[DeviceCommand] = []
 
         # Stage 1: produce data into the intermediate buffer.
         if cmd.kind in (D2DKind.SSD_TO_NIC, D2DKind.SSD_TO_HOST,
@@ -282,10 +294,18 @@ class HDCEngine:
             if ndp_entry is not None and isinstance(ndp_entry.result,
                                                     NdpResult):
                 digest = ndp_entry.result.digest
-            return D2DCompletion(d2d_id=cmd.d2d_id, status=0, digest=digest,
+            return D2DCompletion(d2d_id=cmd.d2d_id,
+                                 status=int(D2DStatus.OK), digest=digest,
                                  result_length=result_length)
 
-        return entries, finalize
+        def abort(task) -> None:
+            # The failure path of finalize: release what _plan
+            # allocated so an aborted chain leaks nothing.
+            self.buffers.free_intermediate(buf, buf_size)
+            self.tasks_failed += 1
+            self._task_started.pop(cmd.d2d_id, None)
+
+        return entries, finalize, abort
 
     def _make_ndp_hook(self, ndp_entry: DeviceCommand, out: DeviceCommand,
                        buf: int, append: bool):

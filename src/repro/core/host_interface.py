@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.core.command import (COMPLETION_SIZE, D2DCommand,
                                 D2D_COMMAND_SIZE, D2DCompletion)
-from repro.errors import ProtocolError
+from repro.errors import DeviceError, ProtocolError
 from repro.memory.region import MemoryRegion
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Store
@@ -51,6 +51,7 @@ class HostInterface:
         self._cpl_tail = 0
         self.commands_received = 0
         self.interrupts_raised = 0
+        self.interrupts_lost = 0
         bar.on_mmio_write = self._on_bar_write
         self.outbox: Store = Store(sim)   # completions awaiting delivery
         sim.process(self._parser())
@@ -118,7 +119,14 @@ class HostInterface:
             slot = self._cpl_tail % COMMAND_QUEUE_DEPTH
             addr = self.completion_ring_addr + slot * COMPLETION_SIZE
             self._cpl_tail += 1
-            yield from self.fabric.dma_write(self.engine_port, addr,
-                                             completion.pack())
-            yield from self.fabric.msi(self.engine_port, vector=0)
+            try:
+                yield from self.fabric.dma_write(self.engine_port, addr,
+                                                 completion.pack())
+                yield from self.fabric.msi(self.engine_port, vector=0)
+            except DeviceError:
+                # Completion record or MSI lost to a link fault: the
+                # driver's D2D watchdog surfaces it as a timeout rather
+                # than the generator process dying.
+                self.interrupts_lost += 1
+                continue
             self.interrupts_raised += 1

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.command import D2DCompletion, DeviceCommand, EntryState
-from repro.errors import ConfigurationError, DeviceError
+from repro.core.command import (D2DCompletion, D2DStatus, DeviceCommand,
+                                EntryState)
+from repro.errors import ConfigurationError, DeviceError, DeviceTimeout
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Store
 from repro.units import nsec
@@ -45,14 +46,32 @@ class _Task:
     """One admitted D2D command and its entries."""
 
     def __init__(self, d2d_id: int, entries: List[DeviceCommand],
-                 finalize: Callable[["_Task"], D2DCompletion]):
+                 finalize: Callable[["_Task"], D2DCompletion],
+                 abort: Optional[Callable[["_Task"], None]] = None):
         self.d2d_id = d2d_id
         self.entries = entries
         self.finalize = finalize
+        self.abort = abort
         self.failed: Optional[BaseException] = None
+        self.abort_requested = False
 
     def done(self) -> bool:
         return all(e.state == EntryState.DONE for e in self.entries)
+
+    def settled(self) -> bool:
+        """Every entry has left the pipeline (done or cancelled)."""
+        return all(e.state in (EntryState.DONE, EntryState.CANCELLED)
+                   for e in self.entries)
+
+    def status(self) -> D2DStatus:
+        """The completion status a failed/aborted task reports."""
+        if self.abort_requested:
+            return D2DStatus.ABORTED
+        if isinstance(self.failed, DeviceTimeout):
+            return D2DStatus.TIMEOUT
+        if isinstance(self.failed, ConfigurationError):
+            return D2DStatus.BAD_COMMAND
+        return D2DStatus.DEVICE_ERROR
 
 
 class Scoreboard:
@@ -87,11 +106,15 @@ class Scoreboard:
         return sum(len(t.entries) for t in self._tasks)
 
     def admit(self, d2d_id: int, entries: List[DeviceCommand],
-              finalize: Callable[[object], D2DCompletion]):
+              finalize: Callable[[object], D2DCompletion],
+              abort: Optional[Callable[[object], None]] = None):
         """Process: store a split D2D command (waits while full).
 
         ``finalize`` builds the task's completion record once all its
-        entries are done (it sees the entries' results).
+        entries are done (it sees the entries' results).  ``abort``
+        runs instead of ``finalize`` when the task fails or is
+        cancelled — its job is to release whatever the planner
+        allocated (intermediate buffers, bookkeeping).
         """
         if not entries:
             raise ConfigurationError("a D2D command needs at least one entry")
@@ -102,8 +125,23 @@ class Scoreboard:
                     f"no executor registered for device {entry.dev!r}")
         while self.live_entries() + len(entries) > self.capacity_entries:
             yield self._wake
-        self._tasks.append(_Task(d2d_id, entries, finalize))
+        self._tasks.append(_Task(d2d_id, entries, finalize, abort))
         self._kick()
+
+    def abort(self, d2d_id: int, reason: str = "aborted by request") -> bool:
+        """Cancel a live task: not-yet-issued entries never run, and the
+        completion posts with :data:`D2DStatus.ABORTED`.  Entries that
+        are already executing finish first (a device command cannot be
+        recalled mid-DMA).  Returns False if the id is not live."""
+        for task in self._tasks:
+            if task.d2d_id != d2d_id:
+                continue
+            if task.failed is None:
+                task.failed = DeviceError(reason)
+                task.abort_requested = True
+                self._kick()
+            return True
+        return False
 
     # -- scheduling ------------------------------------------------------------
 
@@ -123,7 +161,7 @@ class Scoreboard:
             if task.failed is not None:
                 for entry in task.entries:
                     if entry.state == EntryState.WAIT:
-                        entry.state = EntryState.DONE
+                        entry.state = EntryState.CANCELLED
                         entry.done_at = self.sim.now
                         entry.issued_at = self.sim.now
                         cancelled = True
@@ -164,7 +202,8 @@ class Scoreboard:
             result = yield self.sim.process(executor.execute(entry))
             entry.result = result
         except (DeviceError, ConfigurationError) as exc:
-            task.failed = exc
+            if task.failed is None:
+                task.failed = exc
         finally:
             entry.state = EntryState.DONE
             entry.done_at = self.sim.now
@@ -186,13 +225,26 @@ class Scoreboard:
             if self.in_order_completion:
                 candidates = self._tasks[:1]
             else:
-                candidates = [t for t in self._tasks if t.done()][:1]
-            if not candidates or not candidates[0].done():
+                candidates = [t for t in self._tasks if t.settled()][:1]
+            if not candidates or not candidates[0].settled():
                 return
             task = candidates[0]
             self._tasks.remove(task)
             if task.failed is not None:
-                completion = D2DCompletion(d2d_id=task.d2d_id, status=2)
+                status = task.status()
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        "recover.abort", track="faults",
+                        name=f"abort d2d#{task.d2d_id} {status.name}",
+                        d2d_id=task.d2d_id, status=int(status),
+                        reason=str(task.failed),
+                        cancelled=sum(1 for e in task.entries
+                                      if e.state == EntryState.CANCELLED))
+                if task.abort is not None:
+                    task.abort(task)
+                completion = D2DCompletion(d2d_id=task.d2d_id,
+                                           status=int(status))
             else:
                 completion = task.finalize(task)
             self.completions.put(completion)

@@ -112,6 +112,8 @@ class Nic(PcieDevice):
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_dropped = 0
+        self.frames_lost = 0       # injected wire losses (nic.wire_drop)
+        self.tx_faults = 0         # descriptors abandoned on link faults
         self.tx_processes: List[object] = []
         self.rx_process = None
         sim.process(self._egress_loop())
@@ -217,8 +219,14 @@ class Nic(PcieDevice):
                 continue
             slot = tx.head % tx.depth
             tx.head += 1
-            raw = yield from self.dma_read(
-                tx.ring_addr + slot * SEND_DESC_SIZE, SEND_DESC_SIZE)
+            try:
+                raw = yield from self.dma_read(
+                    tx.ring_addr + slot * SEND_DESC_SIZE, SEND_DESC_SIZE)
+            except DeviceError:
+                # Descriptor fetch lost to a link fault: abandon the
+                # descriptor; the submitter's deadline recovers it.
+                self.tx_faults += 1
+                continue
             desc = SendDescriptor.unpack(raw)
             tracer = self.sim.tracer
             span = None if tracer is None else tracer.begin(
@@ -229,11 +237,16 @@ class Nic(PcieDevice):
             if span is not None:
                 span.end()
             tx.consumed += 1
-            yield from self.dma_write(
-                tx.status_addr,
-                (tx.consumed & 0xFFFFFFFF).to_bytes(4, "little"))
-            if tx.interrupt:
-                yield from self.msi(vector=2 * index)
+            try:
+                yield from self.dma_write(
+                    tx.status_addr,
+                    (tx.consumed & 0xFFFFFFFF).to_bytes(4, "little"))
+                if tx.interrupt:
+                    yield from self.msi(vector=2 * index)
+            except DeviceError:
+                # Lost status/interrupt write: the next one carries the
+                # cumulative count; meanwhile deadlines cover the gap.
+                self.tx_faults += 1
 
     _FETCH_CHUNK = 8 * KIB  # payload DMA granularity of the TX engine
 
@@ -294,7 +307,14 @@ class Nic(PcieDevice):
         offset = 0
         while offset < desc.payload_len:
             take = min(self._FETCH_CHUNK, desc.payload_len - offset)
-            data = yield from self.dma_read(desc.payload_addr + offset, take)
+            try:
+                data = yield from self.dma_read(desc.payload_addr + offset,
+                                                take)
+            except DeviceError:
+                # Fetch faulted mid-stream: pad with zeros so the TX
+                # engine can drain the descriptor instead of hanging on
+                # an empty chunk store; deadlines catch the damage.
+                data = bytes(take)
             yield chunks.put(data)
             offset += take
 
@@ -302,6 +322,14 @@ class Nic(PcieDevice):
         """Serialize MAC-FIFO frames onto the wire, strictly in order."""
         while True:
             frame = yield self._egress.get()
+            faults = self.sim.faults
+            if faults is not None and faults.fires(
+                    "nic.wire_drop", device=self.name, size=len(frame)):
+                # The frame dies on the wire (FCS corruption en route):
+                # serialization time was already paid by the MAC model,
+                # the receiver simply never sees it.
+                self.frames_lost += 1
+                continue
             yield from self._wire.transmit(self._wire_key, frame)
             self.frames_sent += 1
 
@@ -371,38 +399,60 @@ class Nic(PcieDevice):
                 span.end(dropped=True)
             done.succeed()
             return
-        if desc.hdr_addr:
-            header, payload = raw_frame[:HEADER_LEN], raw_frame[HEADER_LEN:]
-            if len(payload) > desc.buf_len:
-                raise ProtocolError(
-                    f"payload of {len(payload)} overruns posted buffer "
-                    f"of {desc.buf_len}")
-            yield from self.dma_write(desc.hdr_addr, header)
-            if payload:
-                yield from self.dma_write(desc.payload_addr, payload)
-            cmpl = RecvCompletion(hdr_len=HEADER_LEN,
-                                  payload_len=len(payload),
-                                  desc_index=index % rx.depth)
-        else:
-            if len(raw_frame) > desc.buf_len:
-                raise ProtocolError(
-                    f"frame of {len(raw_frame)} overruns posted buffer "
-                    f"of {desc.buf_len}")
-            yield from self.dma_write(desc.payload_addr, raw_frame)
-            cmpl = RecvCompletion(hdr_len=0, payload_len=len(raw_frame),
-                                  desc_index=index % rx.depth)
+        try:
+            if desc.hdr_addr:
+                header = raw_frame[:HEADER_LEN]
+                payload = raw_frame[HEADER_LEN:]
+                if len(payload) > desc.buf_len:
+                    raise ProtocolError(
+                        f"payload of {len(payload)} overruns posted buffer "
+                        f"of {desc.buf_len}")
+                yield from self.dma_write(desc.hdr_addr, header)
+                if payload:
+                    yield from self.dma_write(desc.payload_addr, payload)
+                cmpl = RecvCompletion(hdr_len=HEADER_LEN,
+                                      payload_len=len(payload),
+                                      desc_index=index % rx.depth)
+            else:
+                if len(raw_frame) > desc.buf_len:
+                    raise ProtocolError(
+                        f"frame of {len(raw_frame)} overruns posted buffer "
+                        f"of {desc.buf_len}")
+                yield from self.dma_write(desc.payload_addr, raw_frame)
+                cmpl = RecvCompletion(hdr_len=0, payload_len=len(raw_frame),
+                                      desc_index=index % rx.depth)
+        except DeviceError:
+            # Buffer DMA lost to a link fault: count a drop, recycle
+            # the buffer, keep the ordering chain alive.
+            self.frames_dropped += 1
+            rx.buffers.appendleft((index, desc))
+            if prev_done is not None and not prev_done.processed:
+                yield prev_done
+            if span is not None:
+                span.end(dropped=True)
+            done.succeed()
+            return
         if prev_done is not None and not prev_done.processed:
             yield prev_done  # keep completion order == arrival order
         slot = rx.produced % rx.depth
-        yield from self.dma_write(
-            rx.cmpl_addr + slot * RECV_CMPL_SIZE, cmpl.pack())
-        rx.produced += 1
-        yield from self.dma_write(
-            rx.status_addr, (rx.produced & 0xFFFFFFFF).to_bytes(4, "little"))
+        try:
+            yield from self.dma_write(
+                rx.cmpl_addr + slot * RECV_CMPL_SIZE, cmpl.pack())
+            rx.produced += 1
+            yield from self.dma_write(
+                rx.status_addr,
+                (rx.produced & 0xFFFFFFFF).to_bytes(4, "little"))
+        except DeviceError:
+            # Completion delivery lost; the consumer's deadline (or the
+            # next frame's cumulative status write) recovers it.
+            pass
         self.frames_received += 1
         if span is not None:
             span.end()
         done.succeed()
         if rx.interrupt:
             channel_index = self._rx_channels.index(rx)
-            yield from self.msi(vector=2 * channel_index + 1)
+            try:
+                yield from self.msi(vector=2 * channel_index + 1)
+            except DeviceError:
+                pass  # lost interrupt: the host driver's deadline recovers

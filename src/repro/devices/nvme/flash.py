@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, MediaError
 from repro.memory.region import SparseBytes
 from repro.devices.nvme.commands import LBA_SIZE
 from repro.units import Rate, gbps, usec
@@ -43,12 +43,18 @@ INTEL_750_TIMING = FlashTiming(
 class FlashStore:
     """LBA-addressed functional storage (sparse, zero-filled)."""
 
-    def __init__(self, capacity_bytes: int, lba_size: int = LBA_SIZE):
+    def __init__(self, capacity_bytes: int, lba_size: int = LBA_SIZE,
+                 sim=None, owner: str = "flash"):
         if capacity_bytes % lba_size:
             raise DeviceError("capacity must be a multiple of the LBA size")
         self.lba_size = lba_size
         self.capacity_blocks = capacity_bytes // lba_size
         self._store = SparseBytes(capacity_bytes)
+        # Fault-injection plumbing: when the owning SSD passes its sim,
+        # reads consult the installed plan (one branch when none is).
+        self.sim = sim
+        self.owner = owner
+        self.media_errors = 0
 
     def _check(self, slba: int, nblocks: int) -> None:
         if slba < 0 or nblocks <= 0 or slba + nblocks > self.capacity_blocks:
@@ -59,6 +65,14 @@ class FlashStore:
     def read_blocks(self, slba: int, nblocks: int) -> bytes:
         """Read ``nblocks`` logical blocks starting at ``slba``."""
         self._check(slba, nblocks)
+        faults = None if self.sim is None else self.sim.faults
+        if faults is not None and faults.fires(
+                "flash.read", key=(self.owner, slba),
+                owner=self.owner, slba=slba, nblocks=nblocks):
+            self.media_errors += 1
+            raise MediaError(
+                f"{self.owner}: uncorrectable media error reading "
+                f"LBA {slba} (+{nblocks})")
         return self._store.read(slba * self.lba_size, nblocks * self.lba_size)
 
     def write_blocks(self, slba: int, data: bytes) -> None:

@@ -90,7 +90,7 @@ class NvmeSsd(PcieDevice):
                  bar_base: int, config: SsdConfig = INTEL_750_400GB):
         super().__init__(sim, fabric, name, config.link)
         self.config = config
-        self.flash = FlashStore(config.capacity_bytes)
+        self.flash = FlashStore(config.capacity_bytes, sim=sim, owner=name)
         self._regs = self.add_region("regs", bar_base, 64 * KIB)
         self._regs.on_mmio_write = self._on_doorbell
         self._queues: Dict[int, _QueueState] = {}
@@ -100,6 +100,7 @@ class NvmeSsd(PcieDevice):
         # datasheet's 17.2/7.2 Gbps) is one pipe.
         self._media = Resource(sim, capacity=1)
         self.commands_processed = 0
+        self.cqes_dropped = 0
 
     # -- setup -------------------------------------------------------------
 
@@ -170,8 +171,13 @@ class NvmeSsd(PcieDevice):
                 continue
             slot = state.sq_head
             state.sq_head = (state.sq_head + 1) % state.depth
-            raw = yield from self.dma_read(
-                state.sq_addr + slot * SQE_SIZE, SQE_SIZE)
+            try:
+                raw = yield from self.dma_read(
+                    state.sq_addr + slot * SQE_SIZE, SQE_SIZE)
+            except DeviceError:
+                # SQE fetch lost to a link fault: the command is gone;
+                # the submitter's deadline recovers it.  Keep fetching.
+                continue
             command = NvmeCommand.unpack(raw)
             state.inflight += 1
             self.sim.process(self._execute(state, command))
@@ -267,25 +273,45 @@ class NvmeSsd(PcieDevice):
 
     def _post_completion(self, state: _QueueState, command: NvmeCommand,
                          status: int):
-        # CQE posting serializes per queue to keep tail/phase coherent.
-        with state.post_lock.request() as lock:
-            yield lock
-            cqe = Completion(cid=command.cid, sq_head=state.sq_head,
-                             status=status, phase=state.cq_phase,
-                             sq_id=state.qid)
-            addr = state.cq_addr + state.cq_tail * CQE_SIZE
-            state.cq_tail += 1
-            if state.cq_tail == state.depth:
-                state.cq_tail = 0
-                state.cq_phase ^= 1
-            yield from self.dma_write(addr, cqe.pack())
-        tracer = self.sim.tracer
-        if tracer is not None:
-            tracer.instant("nvme.cqe", track=f"dev:{self.name}",
-                           name=f"cqe q{state.qid} cid={command.cid}",
-                           qid=state.qid, cid=command.cid, status=status)
+        # The completion message can be lost on its way out — injected
+        # (nvme.cqe_drop) or because a link fault ate the CQE write.
+        # Either way the data moved but no CQE/MSI reaches the
+        # submitter, whose watchdog must act.
+        faults = self.sim.faults
+        dropped = faults is not None and faults.fires(
+            "nvme.cqe_drop", device=self.name, qid=state.qid,
+            cid=command.cid)
+        if not dropped:
+            # CQE posting serializes per queue to keep tail/phase
+            # coherent.
+            with state.post_lock.request() as lock:
+                yield lock
+                cqe = Completion(cid=command.cid, sq_head=state.sq_head,
+                                 status=status, phase=state.cq_phase,
+                                 sq_id=state.qid)
+                addr = state.cq_addr + state.cq_tail * CQE_SIZE
+                state.cq_tail += 1
+                if state.cq_tail == state.depth:
+                    state.cq_tail = 0
+                    state.cq_phase ^= 1
+                try:
+                    yield from self.dma_write(addr, cqe.pack())
+                except DeviceError:
+                    dropped = True
+        if not dropped:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant("nvme.cqe", track=f"dev:{self.name}",
+                               name=f"cqe q{state.qid} cid={command.cid}",
+                               qid=state.qid, cid=command.cid, status=status)
         state.inflight -= 1
         state.completed += 1
         self.commands_processed += 1
+        if dropped:
+            self.cqes_dropped += 1
+            return
         if state.interrupt:
-            yield from self.msi(vector=state.qid)
+            try:
+                yield from self.msi(vector=state.qid)
+            except DeviceError:
+                pass  # lost interrupt: the host driver's deadline recovers

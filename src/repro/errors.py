@@ -19,6 +19,14 @@ class DeviceError(ReproError):
     """A device model rejected a command or reached an illegal state."""
 
 
+class DeviceTimeout(DeviceError):
+    """A command deadline/watchdog expired before the completion arrived."""
+
+
+class MediaError(DeviceError):
+    """An uncorrectable flash media error (injected or modeled)."""
+
+
 class ProtocolError(ReproError):
     """A protocol-level violation (NVMe, NIC descriptor, TCP framing)."""
 

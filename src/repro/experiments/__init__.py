@@ -18,9 +18,11 @@ from repro.experiments.fig13 import run_fig13
 from repro.experiments.fig13_validate import run_fig13_validate
 from repro.experiments.sweep import run_sweep
 from repro.experiments.headline import run_headline
+from repro.experiments.faults import run_faults
 
 __all__ = [
     "ExperimentResult",
+    "run_faults",
     "run_fig11",
     "run_fig12_hdfs",
     "run_fig12_swift",

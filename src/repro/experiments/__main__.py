@@ -20,10 +20,11 @@ import argparse
 import sys
 import time
 
-from repro.experiments import (run_fig11, run_fig12_hdfs, run_fig12_swift,
-                               run_fig13, run_fig13_validate, run_fig3,
-                               run_fig8, run_headline, run_sweep,
-                               run_table1, run_table3, run_table4)
+from repro.experiments import (run_faults, run_fig11, run_fig12_hdfs,
+                               run_fig12_swift, run_fig13,
+                               run_fig13_validate, run_fig3, run_fig8,
+                               run_headline, run_sweep, run_table1,
+                               run_table3, run_table4)
 from repro.trace import (TraceSession, trace_section, write_chrome,
                          write_jsonl)
 
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "fig8": ("Fig 8", run_fig8, True),
     "fig11": ("Fig 11", run_fig11, True),
     "sweep": ("Size sweep", run_sweep, True),
+    "faults": ("Fault sweep", run_faults, False),
     "fig12a": ("Fig 12a", run_fig12_swift, False),
     "fig12b": ("Fig 12b", run_fig12_hdfs, False),
     "fig13": ("Fig 13", run_fig13, False),

@@ -16,7 +16,8 @@ from repro.analysis.breakdown import NULL_TRACE
 from repro.devices.nvme.commands import (LBA_SIZE, NvmeCommand, OP_READ,
                                          OP_WRITE, prp_fields, prp_pages)
 from repro.devices.nvme.ssd import NvmeSsd
-from repro.errors import DeviceError, ProtocolError
+from repro.errors import DeviceError, DeviceTimeout, ProtocolError
+from repro.faults import HOST_NVME_POLICY, active_faults, watchdog
 from repro.host.cpu import CpuPool
 from repro.host.costs import CAT, SoftwareCosts
 from repro.host.kernel.interrupts import InterruptController
@@ -45,6 +46,11 @@ class HostNvmeDriver:
         self._waiters: Dict[int, object] = {}  # cid -> Event
         irq.register(ssd.name, vector=qid, handler=self._on_irq)
         self._irq_busy = False
+        # Command deadline + bounded-retry knobs (Linux nvme's timeout
+        # and retry behaviour, first order).
+        self.policy = HOST_NVME_POLICY
+        self.retries = 0
+        self.late_completions = 0
 
     # -- submission ----------------------------------------------------------
 
@@ -57,37 +63,63 @@ class HostNvmeDriver:
         """
         if nbytes % LBA_SIZE:
             raise ProtocolError(f"I/O of {nbytes} bytes is not block-sized")
-        cid = self.qp.allocate_cid()
-        with trace.span(CAT.DEVICE_CONTROL):
-            yield from self.cpu.run(
-                self.costs.block_submit + self.costs.nvme_submit,
-                CAT.DEVICE_CONTROL)
-            pages = prp_pages(buf_addr, nbytes)
-            prp1, prp2, blob = prp_fields(pages)
-            if blob:
-                list_addr = self._prp_list_slot(cid)
-                self.fabric.address_map.write(list_addr, blob)
-                prp2 = list_addr
-            command = NvmeCommand(opcode=opcode, cid=cid, nsid=1,
-                                  prp1=prp1, prp2=prp2, slba=slba,
-                                  nlb=nbytes // LBA_SIZE - 1)
-            self.qp.push(command)
-            yield from self.qp.ring_sq("host")
-        waiter = self.sim.event()
-        self._waiters[cid] = waiter
-        submit_done = self.sim.now
-        cqe, irq_at = yield waiter
-        device_cat = CAT.READ if opcode == OP_READ else CAT.WRITE
-        trace.add(device_cat, irq_at - submit_done)
-        trace.add(CAT.COMPLETION, self.sim.now - irq_at)
-        with trace.span(CAT.COMPLETION):
-            # The waiting context reschedules after the IRQ wakeup.
-            yield from self.cpu.run(self.costs.context_switch, CAT.COMPLETION)
-        if not cqe.ok:
-            raise DeviceError(
-                f"NVMe I/O failed with status {cqe.status} "
-                f"(opcode {opcode}, slba {slba}, {nbytes} bytes)")
-        return cqe
+        attempt = 0
+        while True:
+            failure = None
+            cid = self.qp.allocate_cid()
+            with trace.span(CAT.DEVICE_CONTROL):
+                yield from self.cpu.run(
+                    self.costs.block_submit + self.costs.nvme_submit,
+                    CAT.DEVICE_CONTROL)
+                pages = prp_pages(buf_addr, nbytes)
+                prp1, prp2, blob = prp_fields(pages)
+                if blob:
+                    list_addr = self._prp_list_slot(cid)
+                    self.fabric.address_map.write(list_addr, blob)
+                    prp2 = list_addr
+                command = NvmeCommand(opcode=opcode, cid=cid, nsid=1,
+                                      prp1=prp1, prp2=prp2, slba=slba,
+                                      nlb=nbytes // LBA_SIZE - 1)
+                self.qp.push(command)
+                yield from self.qp.ring_sq("host")
+            waiter = self.sim.event()
+            self._waiters[cid] = waiter
+            submit_done = self.sim.now
+            if active_faults(self.sim) is not None:
+                watchdog(self.sim, waiter, self.policy.deadline_for(nbytes),
+                         f"host NVMe cid {cid}", cid=cid, slba=slba,
+                         size=nbytes)
+            try:
+                cqe, irq_at = yield waiter
+            except DeviceTimeout as exc:
+                # The command is lost (dropped CQE, lost MSI, dead
+                # device): forget it and retry with a fresh cid.
+                self._waiters.pop(cid, None)
+                failure = exc
+            else:
+                device_cat = CAT.READ if opcode == OP_READ else CAT.WRITE
+                trace.add(device_cat, irq_at - submit_done)
+                trace.add(CAT.COMPLETION, self.sim.now - irq_at)
+                with trace.span(CAT.COMPLETION):
+                    # The waiting context reschedules after the IRQ wakeup.
+                    yield from self.cpu.run(self.costs.context_switch,
+                                            CAT.COMPLETION)
+                if cqe.ok:
+                    return cqe
+                failure = DeviceError(
+                    f"NVMe I/O failed with status {cqe.status} "
+                    f"(opcode {opcode}, slba {slba}, {nbytes} bytes)")
+            if attempt >= self.policy.retries:
+                raise failure
+            attempt += 1
+            self.retries += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant("recover.retry", track="faults",
+                               name=f"host NVMe retry {attempt}",
+                               cid=cid, attempt=attempt,
+                               reason=str(failure))
+            yield self.sim.timeout(self.policy.backoff(attempt))
 
     def _split_io(self, opcode: int, slba: int, nbytes: int, buf_addr: int,
                   trace):
@@ -141,8 +173,10 @@ class HostNvmeDriver:
                                         CAT.COMPLETION)
                 yield from self.qp.ring_cq("host")
                 waiter = self._waiters.pop(cqe.cid, None)
-                if waiter is None:
-                    raise DeviceError(
-                        f"completion for unknown cid {cqe.cid}")
+                if waiter is None or waiter.triggered:
+                    # Completion for a command whose deadline already
+                    # expired (it was retried with a fresh cid).
+                    self.late_completions += 1
+                    continue
                 waiter.succeed((cqe, irq_at))
         self._irq_busy = False

@@ -23,6 +23,7 @@ from repro.core.driver import HdcDriver
 from repro.core.engine import HDCEngine
 from repro.core.library import HdcLibrary
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.host.costs import DEFAULT_COSTS, SoftwareCosts
 from repro.host.machine import Host
 from repro.net.tcp import TcpEndpoint, TcpFlow
@@ -73,7 +74,8 @@ class Testbed:
                  nvme_rings_in_host: bool = False,
                  bulk_transfer: bool = True,
                  n_ssds: int = 1,
-                 ndp_target_gbps: float = 10.0):
+                 ndp_target_gbps: float = 10.0,
+                 faults: Optional[FaultPlan] = None):
         self.sim = Simulator()
         self.rng = RngHub(seed)
         self.node0 = Node(Host(self.sim, "node0", cores=cores, costs=costs,
@@ -96,6 +98,61 @@ class Testbed:
         self.sim.run(until=arm0)
         self.sim.run(until=arm1)
         self._next_port = 40000
+        # Install the fault plan only after bring-up: injected faults
+        # target steady-state operation, not queue creation or ARP.
+        # Both nodes share one Simulator, so one plan covers both sides.
+        if faults is not None:
+            faults.install(self.sim, self.rng)
+        self._leak_baseline = self._leak_state()
+
+    # -- leak accounting -------------------------------------------------------
+
+    def _leak_state(self) -> dict:
+        """Snapshot every conserved resource the engines own."""
+        state = {}
+        for index, node in enumerate(self.nodes):
+            if node.engine is None:
+                continue
+            engine = node.engine
+            nic_ctrl = engine.nic_ctrl
+            inflight = len(nic_ctrl._desc_slot_addr)
+            state[f"node{index}.ddr_free_chunks"] = engine.buffers.free_chunks
+            state[f"node{index}.rx_staging_slots"] = (
+                len(nic_ctrl._slot_pool) + inflight)
+            state[f"node{index}.rx_header_slots"] = (
+                len(nic_ctrl._hdr_pool) + inflight)
+        return state
+
+    def assert_no_leaks(self) -> None:
+        """Fail if buffers/slots did not return to their post-bring-up
+        levels, or if engine/driver bookkeeping still holds live work.
+
+        Call after ``sim.run()`` has drained — including runs where D2D
+        commands failed, timed out or were aborted.
+        """
+        problems = []
+        current = self._leak_state()
+        for key, baseline in self._leak_baseline.items():
+            if current[key] != baseline:
+                problems.append(
+                    f"{key}: {current[key]} != baseline {baseline}")
+        for index, node in enumerate(self.nodes):
+            if node.engine is not None:
+                scoreboard = node.engine.scoreboard
+                if scoreboard._tasks:
+                    problems.append(
+                        f"node{index}: scoreboard still holds "
+                        f"{len(scoreboard._tasks)} task(s)")
+                busy = {dev: n for dev, n in scoreboard._busy.items() if n}
+                if busy:
+                    problems.append(
+                        f"node{index}: controllers still busy: {busy}")
+            if node.driver is not None and node.driver._waiters:
+                problems.append(
+                    f"node{index}: driver still waits on D2D ids "
+                    f"{sorted(node.driver._waiters)}")
+        if problems:
+            raise AssertionError("resource leaks: " + "; ".join(problems))
 
     @property
     def nodes(self) -> tuple[Node, Node]:

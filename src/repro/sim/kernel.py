@@ -123,6 +123,10 @@ class Simulator:
         # instrumentation site guards on this, so tracing costs one
         # attribute check when off.
         self.tracer = tracer_for_new_sim(self)
+        # None unless a repro.faults.FaultPlan is installed; like the
+        # tracer, every injection site guards with one `is not None`
+        # check, so the fault-free hot path pays a single branch.
+        self.faults = None
 
     # -- event construction ---------------------------------------------
 

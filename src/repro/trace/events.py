@@ -48,6 +48,11 @@ EVENT_TYPES: Dict[str, str] = {
     # -- control-path phases (schemes / driver / host kernel) --------------
     "request": "root span of one scheme operation (send_file, ...)",
     "phase": "one latency-breakdown segment of a request (Fig 3a/11)",
+    # -- fault injection & recovery ----------------------------------------
+    "fault.inject": "a fault-plan rule fired at an injection site",
+    "recover.retry": "a timed-out or failed command being re-issued",
+    "recover.timeout": "a deadline expired before its completion arrived",
+    "recover.abort": "a failed D2D task torn down (siblings cancelled)",
     # -- run structure -----------------------------------------------------
     "mark": "experiment-level annotation (section label, boundary)",
 }

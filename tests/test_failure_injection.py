@@ -43,6 +43,7 @@ class TestSsdErrorPropagation:
         assert not proc.ok
         with pytest.raises(DeviceError, match="failed with status"):
             _ = proc.value
+        tb.assert_no_leaks()
 
     def test_engine_survives_a_failed_command(self):
         """After a failed D2D command the engine still serves new ones."""
@@ -68,6 +69,8 @@ class TestSsdErrorPropagation:
 
         tb.sim.run(until=tb.sim.process(good(tb.sim)))
         assert host.fabric.peek(buf, 4 * KIB) == b"\x42" * (4 * KIB)
+        tb.sim.run()
+        tb.assert_no_leaks()
 
     def test_failed_intermediate_stage_skips_downstream(self):
         """If the producing stage fails, the consuming stage must not
@@ -88,6 +91,7 @@ class TestSsdErrorPropagation:
         tb.sim.run()
         assert not proc.ok
         assert tb.node0.host.nic.frames_sent == frames_before
+        tb.assert_no_leaks()
 
 
 class TestNvmeProtocolViolations:

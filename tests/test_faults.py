@@ -1,0 +1,315 @@
+"""Deterministic fault injection and end-to-end recovery.
+
+Every scenario here installs a :class:`FaultPlan` on a fresh testbed,
+breaks something mid-chain, and asserts the stack recovers the way a
+real driver would: transient errors retried to success, permanent
+errors surfaced after a bounded budget, lost completions caught by
+watchdogs, failed chains aborted without leaking engine resources —
+and all of it byte-reproducible for a given seed.
+"""
+
+import pytest
+
+from repro.core.command import D2DKind, D2DStatus
+from repro.errors import ConfigurationError, DeviceError
+from repro.faults import (FaultPlan, FaultRule, RetryPolicy, active_faults,
+                          watchdog)
+from repro.schemes import Testbed
+from repro.trace import TraceSession, jsonl_lines
+from repro.units import KIB, usec
+
+
+def _plan(*rules):
+    return FaultPlan(rules)
+
+
+def _run_d2d(tb, kind, src, dst, length):
+    driver = tb.node0.driver
+
+    def body(sim):
+        yield from driver.submit(kind, src=src, dst=dst, length=length)
+
+    proc = tb.sim.process(body(tb.sim))
+    tb.sim.run()
+    return proc
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultRule("flash.write", probability=0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultRule("flash.read", probability=1.5)
+
+    def test_zero_rate_plan_is_not_armed(self):
+        tb = Testbed(seed=11, faults=_plan(
+            FaultRule("flash.read", probability=0.0)))
+        assert tb.sim.faults is not None
+        assert not tb.sim.faults.armed
+        assert active_faults(tb.sim) is None
+
+    def test_no_plan_means_no_faults(self):
+        tb = Testbed(seed=11)
+        assert tb.sim.faults is None
+        assert active_faults(tb.sim) is None
+
+    def test_occurrence_rule_fires_exactly_there(self):
+        tb = Testbed(seed=11, faults=_plan(
+            FaultRule("flash.read", occurrences={2})))
+        faults = tb.sim.faults
+        hits = [faults.fires("flash.read", key=i) for i in range(1, 5)]
+        assert hits == [False, True, False, False]
+
+    def test_permanent_rule_sticks_to_its_key(self):
+        tb = Testbed(seed=11, faults=_plan(
+            FaultRule("flash.read", occurrences={1}, permanent=True)))
+        faults = tb.sim.faults
+        assert faults.fires("flash.read", key="lba7")
+        assert faults.fires("flash.read", key="lba7")      # sticky
+        assert not faults.fires("flash.read", key="lba9")  # other key fine
+
+    def test_max_fires_caps_a_probability_rule(self):
+        tb = Testbed(seed=11, faults=_plan(
+            FaultRule("flash.read", probability=1.0, max_fires=2)))
+        faults = tb.sim.faults
+        hits = [faults.fires("flash.read") for _ in range(5)]
+        assert hits == [True, True, False, False, False]
+
+
+class TestWatchdog:
+    def test_watchdog_fails_a_pending_event(self):
+        tb = Testbed(seed=12)
+        event = tb.sim.event()
+        watchdog(tb.sim, event, usec(5), "unit test")
+
+        def waiter(sim):
+            yield event
+
+        proc = tb.sim.process(waiter(tb.sim))
+        tb.sim.run()
+        assert not proc.ok
+        with pytest.raises(DeviceError, match="no completion within"):
+            _ = proc.value
+
+    def test_watchdog_is_harmless_once_event_succeeds(self):
+        tb = Testbed(seed=12)
+        event = tb.sim.event()
+        watchdog(tb.sim, event, usec(5), "unit test")
+        event.succeed("fine")
+
+        def waiter(sim):
+            value = yield event
+            return value
+
+        proc = tb.sim.process(waiter(tb.sim))
+        tb.sim.run()
+        assert proc.ok and proc.value == "fine"
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(deadline_ns=usec(100), retries=3,
+                             backoff_ns=usec(10), backoff_factor=2)
+        assert [policy.backoff(n) for n in (1, 2, 3)] == [
+            usec(10), usec(20), usec(40)]
+        assert policy.deadline_for(0) == usec(100)
+
+
+class TestTransientRecovery:
+    def test_transient_flash_error_retried_to_success(self):
+        """One media error on the engine path: the engine's NVMe
+        controller re-issues the command and the D2D completes."""
+        clean = Testbed(seed=21)
+        buf = clean.node0.host.alloc_buffer(4 * KIB)
+        start = clean.sim.now
+        assert _run_d2d(clean, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB).ok
+        clean_span = clean.sim.now - start
+
+        tb = Testbed(seed=21, faults=_plan(
+            FaultRule("flash.read", occurrences={1})))
+        buf = tb.node0.host.alloc_buffer(4 * KIB)
+        ctrl = tb.node0.engine.nvme_ctrl
+        start = tb.sim.now
+        proc = _run_d2d(tb, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB)
+        faulty_span = tb.sim.now - start
+        assert proc.ok
+        assert ctrl.retries == 1
+        # The recovered request pays at least the first backoff on top
+        # of a full extra device round trip.
+        assert faulty_span >= clean_span + ctrl.policy.backoff(1)
+        tb.assert_no_leaks()
+
+    def test_permanent_flash_error_exhausts_retries(self):
+        tb = Testbed(seed=22, faults=_plan(
+            FaultRule("flash.read", occurrences={1}, permanent=True)))
+        buf = tb.node0.host.alloc_buffer(4 * KIB)
+        ctrl = tb.node0.engine.nvme_ctrl
+        proc = _run_d2d(tb, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB)
+        assert not proc.ok
+        with pytest.raises(DeviceError,
+                           match="failed with status DEVICE_ERROR"):
+            _ = proc.value
+        assert ctrl.retries == ctrl.policy.retries
+        assert tb.node0.engine.tasks_failed == 1
+        tb.assert_no_leaks()
+
+    def test_transient_error_recovers_on_host_path_too(self):
+        tb = Testbed(seed=23, faults=_plan(
+            FaultRule("flash.read", occurrences={1})))
+        host = tb.node0.host
+        buf = host.alloc_buffer(4 * KIB)
+
+        def body(sim):
+            yield from host.nvme_driver.read(0, 4 * KIB, buf)
+
+        proc = tb.sim.process(body(tb.sim))
+        tb.sim.run()
+        assert proc.ok
+        assert host.nvme_driver.retries == 1
+
+
+class TestLostCompletions:
+    def test_dropped_cqe_hits_engine_watchdog(self):
+        """The SSD executes the command but the CQE never lands: the
+        engine controller's deadline expires and the re-issued command
+        completes the D2D."""
+        tb = Testbed(seed=24, faults=_plan(
+            FaultRule("nvme.cqe_drop", occurrences={1})))
+        buf = tb.node0.host.alloc_buffer(4 * KIB)
+        ctrl = tb.node0.engine.nvme_ctrl
+        proc = _run_d2d(tb, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB)
+        assert proc.ok
+        assert tb.node0.host.ssd.cqes_dropped == 1
+        assert ctrl.retries == 1
+        tb.assert_no_leaks()
+
+    def test_dropped_cqe_hits_host_watchdog(self):
+        tb = Testbed(seed=25, faults=_plan(
+            FaultRule("nvme.cqe_drop", occurrences={1})))
+        host = tb.node0.host
+        buf = host.alloc_buffer(4 * KIB)
+
+        def body(sim):
+            yield from host.nvme_driver.read(0, 4 * KIB, buf)
+
+        proc = tb.sim.process(body(tb.sim))
+        tb.sim.run()
+        assert proc.ok
+        assert host.ssd.cqes_dropped == 1
+        assert host.nvme_driver.retries == 1
+
+    def test_no_injected_scenario_hangs_the_run(self):
+        """A run whose every flash read dies still drains: deadlines,
+        not deadlock."""
+        tb = Testbed(seed=26, faults=_plan(
+            FaultRule("flash.read", probability=1.0)))
+        buf = tb.node0.host.alloc_buffer(4 * KIB)
+        proc = _run_d2d(tb, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB)
+        assert proc.triggered and not proc.ok
+        tb.assert_no_leaks()
+
+
+class TestAbortAndCleanup:
+    def test_wire_loss_aborts_receive_chain_cleanly(self):
+        """A frame lost mid-stream on an offloaded SSD->NIC->SSD pipe:
+        the receiver's gather deadline expires, its chain aborts with
+        TIMEOUT, and every engine resource comes back."""
+        tb = Testbed(seed=27, faults=_plan(
+            FaultRule("nic.wire_drop", occurrences={3})))
+        conn = tb.connect_offloaded()
+        length = 16 * KIB
+
+        def send(sim):
+            yield from tb.node0.driver.submit(
+                D2DKind.SSD_TO_NIC, src=0,
+                dst=tb.node0.driver.flow_id(conn.flow0), length=length)
+
+        def recv(sim):
+            yield from tb.node1.driver.submit(
+                D2DKind.NIC_TO_SSD,
+                src=tb.node1.driver.flow_id(conn.flow1), dst=4096,
+                length=length)
+
+        send_proc = tb.sim.process(send(tb.sim))
+        recv_proc = tb.sim.process(recv(tb.sim))
+        tb.sim.run()
+        assert tb.node0.host.nic.frames_lost == 1
+        assert send_proc.ok          # the sender never learns of the loss
+        assert not recv_proc.ok
+        with pytest.raises(DeviceError, match="TIMEOUT"):
+            _ = recv_proc.value
+        # Frames after the gap were discarded, not mis-assembled.
+        assert tb.node1.engine.nic_ctrl.frames_discarded >= 1
+        assert tb.node1.engine.tasks_failed == 1
+        tb.assert_no_leaks()
+
+    def test_bad_command_frees_nothing_and_reports_bad_command(self):
+        """A command naming a volume the engine doesn't have is
+        rejected before any buffer allocation."""
+        tb = Testbed(seed=28)
+        buf = tb.node0.host.alloc_buffer(4 * KIB)
+        driver = tb.node0.driver
+
+        def body(sim):
+            yield from driver.submit(D2DKind.SSD_TO_HOST, src=0, dst=buf,
+                                     length=4 * KIB, aux=7)
+
+        proc = tb.sim.process(body(tb.sim))
+        tb.sim.run()
+        assert not proc.ok
+        with pytest.raises(DeviceError, match="BAD_COMMAND"):
+            _ = proc.value
+        tb.assert_no_leaks()
+
+    def test_scoreboard_abort_cancels_unissued_entries(self):
+        tb = Testbed(seed=29)
+        engine = tb.node0.engine
+        buf = tb.node0.host.alloc_buffer(64 * KIB)
+        driver = tb.node0.driver
+
+        def body(sim):
+            yield from driver.submit(D2DKind.SSD_TO_HOST, src=0, dst=buf,
+                                     length=64 * KIB)
+
+        proc = tb.sim.process(body(tb.sim))
+        # Abort as soon as the task is admitted.
+
+        def aborter(sim):
+            while not engine.scoreboard.abort(1, "test abort"):
+                yield sim.timeout(100)
+
+        tb.sim.process(aborter(tb.sim))
+        tb.sim.run()
+        assert not proc.ok
+        with pytest.raises(DeviceError, match="ABORTED"):
+            _ = proc.value
+        assert engine.tasks_failed == 1
+        tb.assert_no_leaks()
+
+
+class TestStatusNames:
+    def test_describe_known_and_unknown(self):
+        assert D2DStatus.describe(0) == "OK(0)"
+        assert D2DStatus.describe(4) == "TIMEOUT(4)"
+        assert D2DStatus.describe(99) == "status 99"
+
+
+class TestGoldenDeterminism:
+    @staticmethod
+    def _faulty_traced_run():
+        with TraceSession(label="faulty") as session:
+            tb = Testbed(seed=31, faults=_plan(
+                FaultRule("flash.read", occurrences={1}),
+                FaultRule("nvme.cqe_drop", occurrences={2})))
+            buf = tb.node0.host.alloc_buffer(4 * KIB)
+            _run_d2d(tb, D2DKind.SSD_TO_HOST, 0, buf, 4 * KIB)
+        return "\n".join(jsonl_lines(session))
+
+    def test_same_seed_faulty_runs_are_byte_identical(self):
+        assert self._faulty_traced_run() == self._faulty_traced_run()
+
+    def test_fault_events_present_in_trace(self):
+        trace = self._faulty_traced_run()
+        assert '"type":"fault.inject"' in trace
+        assert '"type":"recover.retry"' in trace
+        assert '"track":"faults"' in trace

@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench experiments faults-smoke trace-demo docs-check clean
+.PHONY: test bench experiments faults-smoke trace-demo metrics-smoke \
+        docs-check clean
 
 test:            ## tier-1 suite (ROADMAP.md verify command)
 	$(PYTHON) -m pytest -x -q
@@ -22,9 +23,17 @@ trace-demo:      ## traced headline run -> trace.json (ui.perfetto.dev)
 	$(PYTHON) -m repro.experiments --trace trace.json headline
 	@echo "wrote trace.json - load it in https://ui.perfetto.dev"
 
-docs-check:      ## taxonomy <-> docs/tracing.md lock-step check
-	$(PYTHON) -m pytest -q tests/test_trace_docs.py
+metrics-smoke:   ## metered headline: CSV non-empty + same-seed identical
+	$(PYTHON) -m repro.experiments --metrics metrics-a.csv headline
+	$(PYTHON) -m repro.experiments --metrics metrics-b.csv headline
+	@test -s metrics-a.csv || (echo "metrics CSV is empty" && exit 1)
+	@cmp metrics-a.csv metrics-b.csv \
+	    || (echo "metrics CSV differs across same-seed runs" && exit 1)
+	@echo "metrics-smoke OK: $$(wc -l < metrics-a.csv) rows, byte-identical"
+
+docs-check:      ## catalogs <-> docs/{tracing,metrics}.md lock-step check
+	$(PYTHON) -m pytest -q tests/test_trace_docs.py tests/test_metrics_docs.py
 
 clean:
-	rm -rf .pytest_cache .hypothesis trace.json
+	rm -rf .pytest_cache .hypothesis trace.json metrics-a.csv metrics-b.csv
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

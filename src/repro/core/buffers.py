@@ -57,5 +57,10 @@ class EngineBuffers:
         return self._alloc.free_chunks
 
     @property
+    def bytes_in_use(self) -> int:
+        """Allocated DDR3 bytes (the engine.ddr3_bytes_in_use metric)."""
+        return self._alloc.allocated_chunks * CHUNK_SIZE
+
+    @property
     def chunk_size(self) -> int:
         return CHUNK_SIZE

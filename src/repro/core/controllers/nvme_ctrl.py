@@ -63,6 +63,11 @@ class EngineNvmeController(Executor):
         self.commands_issued = 0
         self.retries = 0
         self.stale_completions = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.polled(
+                "faults.retries", lambda: self.retries,
+                owner=f"{fabric.name}:{engine_port}:nvme:{ssd.name}")
         # Deadline/backoff knobs — what the RTL FSM's wait state would
         # time out; tests may tighten these for speed.
         self.policy = ENGINE_NVME_POLICY

@@ -44,8 +44,14 @@ from repro.core.controllers.nvme_ctrl import PRP_SLOT as _PRP_SLOT
 
 class _Bump:
     def __init__(self, base: int, size: int):
+        self._base = base
         self._next = base
         self._end = base + size
+
+    @property
+    def used(self) -> int:
+        """Bytes consumed so far (the engine.bram_bytes_in_use metric)."""
+        return self._next - self._base
 
     def take(self, size: int, align: int = 64) -> int:
         addr = self._next + (-self._next % align)
@@ -94,8 +100,10 @@ class HDCEngine:
         self.buffers = EngineBuffers(ENGINE_DDR_BASE)
 
         bump = _Bump(ENGINE_BRAM_BASE, 512 * KIB)  # within engine-bram
+        engine_id = f"{fabric.name}:{port}"
         self.scoreboard = Scoreboard(sim,
-                                     in_order_completion=in_order_completion)
+                                     in_order_completion=in_order_completion,
+                                     owner=engine_id)
         # One standard controller per SSD volume (the flexibility story:
         # adding an off-the-shelf SSD costs one more controller block).
         ssds = ssd if isinstance(ssd, list) else [ssd]
@@ -150,6 +158,19 @@ class HDCEngine:
         self.tasks_failed = 0
         self.task_stats: dict[int, dict[str, int]] = {}
         self._task_started: dict[int, int] = {}
+        metrics = sim.metrics
+        if metrics is None:
+            self._m_d2d = None
+        else:
+            metrics.polled("engine.ddr3_bytes_in_use",
+                           lambda: self.buffers.bytes_in_use,
+                           engine=engine_id)
+            metrics.polled("engine.bram_bytes_in_use",
+                           lambda: bump.used, engine=engine_id)
+            metrics.polled("faults.aborts", lambda: self.tasks_failed,
+                           engine=engine_id)
+            self._m_d2d = metrics.histogram("engine.d2d_latency_ns",
+                                            engine=engine_id)
 
     # -- bring-up ------------------------------------------------------------
 
@@ -218,6 +239,8 @@ class HDCEngine:
                     category=category, length=entry.length)
         window = self.sim.now - self._task_started.pop(d2d_id)
         stats["scoreboard"] = max(0, window - covered)
+        if self._m_d2d is not None:
+            self._m_d2d.observe(window)
         self.task_stats[d2d_id] = stats
 
     def _plan(self, cmd: D2DCommand

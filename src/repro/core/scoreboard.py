@@ -78,10 +78,11 @@ class Scoreboard:
     """Entry storage + the scheduling FSM."""
 
     def __init__(self, sim: Simulator, capacity_entries: int = 256,
-                 in_order_completion: bool = True):
+                 in_order_completion: bool = True, owner: str = "engine"):
         self.sim = sim
         self.capacity_entries = capacity_entries
         self.in_order_completion = in_order_completion
+        self.owner = owner
         self._executors: Dict[str, Executor] = {}
         self._busy: Dict[str, int] = {}
         self._tasks: List[_Task] = []       # admission order
@@ -89,6 +90,14 @@ class Scoreboard:
         self.completions: Store = Store(sim)
         self.entries_issued = 0
         self.decisions = 0
+        metrics = sim.metrics
+        if metrics is None:
+            self._m_entries = None
+        else:
+            self._m_entries = metrics.timegauge("engine.scoreboard_entries",
+                                                engine=owner)
+            metrics.polled("engine.scoreboard_issued",
+                           lambda: self.entries_issued, engine=owner)
         sim.process(self._scheduler())
 
     # -- configuration -----------------------------------------------------
@@ -126,6 +135,8 @@ class Scoreboard:
         while self.live_entries() + len(entries) > self.capacity_entries:
             yield self._wake
         self._tasks.append(_Task(d2d_id, entries, finalize, abort))
+        if self._m_entries is not None:
+            self._m_entries.set(self.live_entries())
         self._kick()
 
     def abort(self, d2d_id: int, reason: str = "aborted by request") -> bool:
@@ -230,6 +241,8 @@ class Scoreboard:
                 return
             task = candidates[0]
             self._tasks.remove(task)
+            if self._m_entries is not None:
+                self._m_entries.set(self.live_entries())
             if task.failed is not None:
                 status = task.status()
                 tracer = self.sim.tracer

@@ -74,6 +74,14 @@ class Gpu(PcieDevice):
         self._copy_engines = Resource(sim, capacity=config.copy_engines)
         self._exec_engine = Resource(sim, capacity=1)
         self.kernels_launched = 0
+        metrics = sim.metrics
+        if metrics is None:
+            self._m_copy = self._m_exec = None
+        else:
+            self._m_copy = metrics.timegauge(
+                "gpu.copy_busy", node=fabric.name, dev=name)
+            self._m_exec = metrics.timegauge(
+                "gpu.exec_busy", node=fabric.name, dev=name)
 
     # -- memory helpers ------------------------------------------------------
 
@@ -93,8 +101,14 @@ class Gpu(PcieDevice):
             direction="in", size=size)
         with self._copy_engines.request() as engine:
             yield engine
-            data = yield from self.dma_read(src_addr, size)
-            self.dram.write(self.mem_addr(gpu_offset), data)
+            if self._m_copy is not None:
+                self._m_copy.inc()
+            try:
+                data = yield from self.dma_read(src_addr, size)
+                self.dram.write(self.mem_addr(gpu_offset), data)
+            finally:
+                if self._m_copy is not None:
+                    self._m_copy.dec()
         if span is not None:
             span.end()
 
@@ -106,8 +120,14 @@ class Gpu(PcieDevice):
             direction="out", size=size)
         with self._copy_engines.request() as engine:
             yield engine
-            data = self.dram.read(self.mem_addr(gpu_offset), size)
-            yield from self.dma_write(dst_addr, data)
+            if self._m_copy is not None:
+                self._m_copy.inc()
+            try:
+                data = self.dram.read(self.mem_addr(gpu_offset), size)
+                yield from self.dma_write(dst_addr, data)
+            finally:
+                if self._m_copy is not None:
+                    self._m_copy.dec()
         if span is not None:
             span.end()
 
@@ -137,11 +157,17 @@ class Gpu(PcieDevice):
             name=f"{kernel} {size}B", kernel=kernel, size=size)
         with self._exec_engine.request() as engine:
             yield engine
-            yield self.sim.timeout(self.config.launch_overhead
-                                   + spec.rate.duration(size))
-            data = self.dram.read(self.mem_addr(in_offset), size)
-            digest = spec.fn(data)
-            self.dram.write(self.mem_addr(out_offset), digest)
+            if self._m_exec is not None:
+                self._m_exec.inc()
+            try:
+                yield self.sim.timeout(self.config.launch_overhead
+                                       + spec.rate.duration(size))
+                data = self.dram.read(self.mem_addr(in_offset), size)
+                digest = spec.fn(data)
+                self.dram.write(self.mem_addr(out_offset), digest)
+            finally:
+                if self._m_exec is not None:
+                    self._m_exec.dec()
         self.kernels_launched += 1
         if span is not None:
             span.end()

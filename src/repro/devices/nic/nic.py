@@ -39,6 +39,7 @@ from repro.pcie.link import LINK_GEN2_X8, LinkConfig
 from repro.pcie.switch import Fabric
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Store
+from repro.sim.stats import Meter
 from repro.units import KIB, nsec
 
 
@@ -75,6 +76,7 @@ class _TxChannel:
     tail: int = 0       # latest doorbell value (free-running, recovered)
     consumed: int = 0
     wake: object = None
+    m_occ: Optional[object] = None  # nic.tx_ring_occupancy instrument
 
 
 @dataclass
@@ -91,6 +93,7 @@ class _RxChannel:
     buffers: Deque[Tuple[int, RecvDescriptor]] = field(default_factory=deque)
     buffer_wake: object = None
     prev_done: object = None   # ordering chain for completion posting
+    m_buf: Optional[object] = None  # nic.rx_buffers instrument
 
 
 class Nic(PcieDevice):
@@ -116,6 +119,14 @@ class Nic(PcieDevice):
         self.tx_faults = 0         # descriptors abandoned on link faults
         self.tx_processes: List[object] = []
         self.rx_process = None
+        # Wire-byte accounting reads through the metrics registry when a
+        # session is installed (Meter.register is a no-op otherwise).
+        self.wire_meter = Meter(sim).register(
+            "nic.wire_tx_bytes", node=fabric.name, dev=name)
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.polled("nic.frames_lost", lambda: self.frames_lost,
+                           node=fabric.name, dev=name)
         sim.process(self._egress_loop())
 
     # -- wiring ------------------------------------------------------------
@@ -143,6 +154,11 @@ class Nic(PcieDevice):
                              wake=self.sim.event())
         self._tx_channels.append(channel)
         index = len(self._tx_channels) - 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            channel.m_occ = metrics.timegauge(
+                "nic.tx_ring_occupancy", node=self.fabric.name,
+                dev=self.name, channel=index)
         self.tx_processes.append(self.sim.process(self._tx_loop(channel,
                                                                 index)))
         doorbell = self._regs.base + index * _CHANNEL_STRIDE + _SEND_DB
@@ -160,6 +176,11 @@ class Nic(PcieDevice):
                              buffer_wake=self.sim.event())
         self._rx_channels.append(channel)
         index = len(self._rx_channels) - 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            channel.m_buf = metrics.timegauge(
+                "nic.rx_buffers", node=self.fabric.name,
+                dev=self.name, channel=index)
         doorbell = self._regs.base + index * _CHANNEL_STRIDE + _RECV_DB
         return RecvRing(self.fabric, desc_addr, cmpl_addr, depth,
                         status_addr, doorbell=doorbell, channel=index)
@@ -189,6 +210,8 @@ class Nic(PcieDevice):
                                     "before TX configuration")
             channel = self._tx_channels[index]
             channel.tail = self._unwrap(channel.tail, value)
+            if channel.m_occ is not None:
+                channel.m_occ.set(channel.tail - channel.consumed)
             wake, channel.wake = channel.wake, self.sim.event()
             wake.succeed()
         elif reg == _RECV_DB:
@@ -237,6 +260,8 @@ class Nic(PcieDevice):
             if span is not None:
                 span.end()
             tx.consumed += 1
+            if tx.m_occ is not None:
+                tx.m_occ.set(tx.tail - tx.consumed)
             try:
                 yield from self.dma_write(
                     tx.status_addr,
@@ -332,6 +357,7 @@ class Nic(PcieDevice):
                 continue
             yield from self._wire.transmit(self._wire_key, frame)
             self.frames_sent += 1
+            self.wire_meter.add(len(frame))
 
     # -- receive -------------------------------------------------------------
 
@@ -348,6 +374,8 @@ class Nic(PcieDevice):
                     rx.desc_addr + slot * RECV_DESC_SIZE, RECV_DESC_SIZE)
                 rx.buffers.append((rx.fetched, RecvDescriptor.unpack(raw)))
                 rx.fetched += 1
+                if rx.m_buf is not None:
+                    rx.m_buf.set(len(rx.buffers))
                 wake, rx.buffer_wake = rx.buffer_wake, self.sim.event()
                 wake.succeed()
         finally:
@@ -373,6 +401,8 @@ class Nic(PcieDevice):
             while not rx.buffers:
                 yield rx.buffer_wake
             index, desc = rx.buffers.popleft()
+            if rx.m_buf is not None:
+                rx.m_buf.set(len(rx.buffers))
             done = self.sim.event()
             self.sim.process(self._receive(rx, raw_frame, index, desc,
                                            rx.prev_done, done))
@@ -393,6 +423,8 @@ class Nic(PcieDevice):
             # the buffer goes back to the pool and no completion posts.
             self.frames_dropped += 1
             rx.buffers.appendleft((index, desc))
+            if rx.m_buf is not None:
+                rx.m_buf.set(len(rx.buffers))
             if prev_done is not None and not prev_done.processed:
                 yield prev_done
             if span is not None:
@@ -426,6 +458,8 @@ class Nic(PcieDevice):
             # the buffer, keep the ordering chain alive.
             self.frames_dropped += 1
             rx.buffers.appendleft((index, desc))
+            if rx.m_buf is not None:
+                rx.m_buf.set(len(rx.buffers))
             if prev_done is not None and not prev_done.processed:
                 yield prev_done
             if span is not None:

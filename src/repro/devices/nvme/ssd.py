@@ -75,12 +75,23 @@ class _QueueState:
     interrupt: bool
     sq_head: int = 0
     sq_tail: int = 0            # latest tail written through the doorbell
+    cq_head: int = 0            # latest CQ head doorbell from the consumer
     cq_tail: int = 0
     cq_phase: int = 1
     wake: Optional[object] = None  # Event set when the doorbell moves
     inflight: int = 0
     completed: int = 0
     post_lock: Optional[Resource] = None
+    # Metric instruments; None unless a MetricsSession is installed.
+    m_sq: Optional[object] = None
+    m_cq: Optional[object] = None
+    m_inflight: Optional[object] = None
+
+    def sq_depth(self) -> int:
+        return (self.sq_tail - self.sq_head) % self.depth
+
+    def cq_depth(self) -> int:
+        return (self.cq_tail - self.cq_head) % self.depth
 
 
 class NvmeSsd(PcieDevice):
@@ -101,6 +112,13 @@ class NvmeSsd(PcieDevice):
         self._media = Resource(sim, capacity=1)
         self.commands_processed = 0
         self.cqes_dropped = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            labels = dict(node=fabric.name, dev=name)
+            metrics.polled("nvme.commands",
+                           lambda: self.commands_processed, **labels)
+            metrics.polled("nvme.cqes_dropped",
+                           lambda: self.cqes_dropped, **labels)
 
     # -- setup -------------------------------------------------------------
 
@@ -121,6 +139,12 @@ class NvmeSsd(PcieDevice):
                             depth=depth, interrupt=interrupt)
         state.post_lock = Resource(self.sim, capacity=1)
         state.wake = self.sim.event()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            labels = dict(node=self.fabric.name, dev=self.name, qid=qid)
+            state.m_sq = metrics.timegauge("nvme.sq_depth", **labels)
+            state.m_cq = metrics.timegauge("nvme.cq_depth", **labels)
+            state.m_inflight = metrics.timegauge("nvme.inflight", **labels)
         self._queues[qid] = state
         self.sim.process(self._queue_loop(state))
         return QueuePair(
@@ -152,13 +176,20 @@ class NvmeSsd(PcieDevice):
             raise ProtocolError(
                 f"doorbell value {value} out of range for depth {state.depth}")
         if is_cq:
-            return  # CQ head updates only matter for overrun we don't model
+            # CQ overrun is not modeled, but the head doorbell still
+            # feeds the nvme.cq_depth occupancy metric.
+            state.cq_head = value
+            if state.m_cq is not None:
+                state.m_cq.set(state.cq_depth())
+            return
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant("nvme.doorbell", track=f"dev:{self.name}",
                            name=f"sq{qid} tail={value}", qid=qid,
                            tail=value)
         state.sq_tail = value
+        if state.m_sq is not None:
+            state.m_sq.set(state.sq_depth())
         wake, state.wake = state.wake, self.sim.event()
         wake.succeed()
 
@@ -171,6 +202,8 @@ class NvmeSsd(PcieDevice):
                 continue
             slot = state.sq_head
             state.sq_head = (state.sq_head + 1) % state.depth
+            if state.m_sq is not None:
+                state.m_sq.set(state.sq_depth())
             try:
                 raw = yield from self.dma_read(
                     state.sq_addr + slot * SQE_SIZE, SQE_SIZE)
@@ -180,6 +213,8 @@ class NvmeSsd(PcieDevice):
                 continue
             command = NvmeCommand.unpack(raw)
             state.inflight += 1
+            if state.m_inflight is not None:
+                state.m_inflight.set(state.inflight)
             self.sim.process(self._execute(state, command))
 
     _OPCODE_NAMES = {OP_READ: "read", OP_WRITE: "write", OP_FLUSH: "flush"}
@@ -294,6 +329,8 @@ class NvmeSsd(PcieDevice):
                 if state.cq_tail == state.depth:
                     state.cq_tail = 0
                     state.cq_phase ^= 1
+                if state.m_cq is not None:
+                    state.m_cq.set(state.cq_depth())
                 try:
                     yield from self.dma_write(addr, cqe.pack())
                 except DeviceError:
@@ -305,6 +342,8 @@ class NvmeSsd(PcieDevice):
                                name=f"cqe q{state.qid} cid={command.cid}",
                                qid=state.qid, cid=command.cid, status=status)
         state.inflight -= 1
+        if state.m_inflight is not None:
+            state.m_inflight.set(state.inflight)
         state.completed += 1
         self.commands_processed += 1
         if dropped:

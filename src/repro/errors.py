@@ -41,3 +41,7 @@ class ConfigurationError(ReproError):
 
 class TraceError(ReproError):
     """The tracing contract was violated (unknown event type, bad span)."""
+
+
+class MetricsError(ReproError):
+    """The metrics contract was violated (unknown metric, kind mismatch)."""

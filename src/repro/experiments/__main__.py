@@ -9,9 +9,15 @@ Usage::
                                                     # + Chrome/Perfetto trace
     python -m repro.experiments --trace-jsonl out.jsonl fig11
                                                     # + flat JSONL trace
+    python -m repro.experiments --metrics out.csv headline
+                                                    # + metrics time series
+                                                    #   and a sim-top report
 
 Trace output loads in https://ui.perfetto.dev (or chrome://tracing); the
-schema is documented in ``docs/tracing.md``.
+schema is documented in ``docs/tracing.md``.  Metrics output is a flat
+CSV (or JSONL with ``--metrics-jsonl``) documented in ``docs/metrics.md``;
+when metrics are collected, a per-resource utilization summary
+("sim-top") is printed after the runs.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from repro.experiments import (run_faults, run_fig11, run_fig12_hdfs,
                                run_fig13_validate, run_fig3, run_fig8,
                                run_headline, run_sweep, run_table1,
                                run_table3, run_table4)
+from repro.metrics import MetricsSession, render_top, write_csv
+from repro.metrics import write_jsonl as write_metrics_jsonl
 from repro.trace import (TraceSession, trace_section, write_chrome,
                          write_jsonl)
 
@@ -60,7 +68,30 @@ def _parse(argv: list[str]) -> argparse.Namespace:
                              "(Perfetto-loadable) of the run")
     parser.add_argument("--trace-jsonl", metavar="OUT.jsonl", default=None,
                         help="write a flat JSONL event stream of the run")
+    parser.add_argument("--metrics", metavar="OUT.csv", default=None,
+                        help="sample utilization metrics and write the "
+                             "time series as CSV")
+    parser.add_argument("--metrics-jsonl", metavar="OUT.jsonl", default=None,
+                        help="write the sampled metrics as JSONL records")
     return parser.parse_args(argv)
+
+
+def check_writable(kind: str, path: str | None) -> bool:
+    """Fail fast on an unwritable output path.
+
+    Creates (truncates) the file so a typo'd directory or a read-only
+    target surfaces *before* spending minutes running experiments, not
+    after.  Returns False (after printing to stderr) when unwritable.
+    """
+    if path is None:
+        return True
+    try:
+        with open(path, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        print(f"cannot write {kind} output {path}: {exc}", file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv: list[str]) -> int:
@@ -76,22 +107,20 @@ def main(argv: list[str]) -> int:
         slugs = [slug for slug, (_, _, fast) in EXPERIMENTS.items()
                  if fast or not opts.fast]
 
-    # Fail on an unwritable trace path before spending minutes running
-    # experiments, not after.
-    for path in (opts.trace, opts.trace_jsonl):
-        if path is not None:
-            try:
-                with open(path, "w", encoding="utf-8"):
-                    pass
-            except OSError as exc:
-                print(f"cannot write trace output {path}: {exc}",
-                      file=sys.stderr)
-                return 2
+    for kind, path in (("trace", opts.trace), ("trace", opts.trace_jsonl),
+                       ("metrics", opts.metrics),
+                       ("metrics", opts.metrics_jsonl)):
+        if not check_writable(kind, path):
+            return 2
 
     tracing = opts.trace is not None or opts.trace_jsonl is not None
     session = TraceSession(label="experiments") if tracing else None
+    sampling = opts.metrics is not None or opts.metrics_jsonl is not None
+    metrics = MetricsSession(label="experiments") if sampling else None
     if session is not None:
         session.install()
+    if metrics is not None:
+        metrics.install()
     try:
         for slug in slugs:
             label, runner, _ = EXPERIMENTS[slug]
@@ -104,6 +133,9 @@ def main(argv: list[str]) -> int:
         if session is not None:
             session.uninstall()
             session.finalize()
+        if metrics is not None:
+            metrics.uninstall()
+            metrics.finalize()
     if session is not None:
         if opts.trace is not None:
             count = write_chrome(opts.trace, session)
@@ -112,6 +144,15 @@ def main(argv: list[str]) -> int:
         if opts.trace_jsonl is not None:
             write_jsonl(opts.trace_jsonl, session)
             print(f"[trace: JSONL -> {opts.trace_jsonl}]")
+    if metrics is not None:
+        if opts.metrics is not None:
+            rows = write_csv(opts.metrics, metrics)
+            print(f"[metrics: {rows} samples -> {opts.metrics}]")
+        if opts.metrics_jsonl is not None:
+            rows = write_metrics_jsonl(opts.metrics_jsonl, metrics)
+            print(f"[metrics: {rows} samples -> {opts.metrics_jsonl}]")
+        print()
+        print(render_top(metrics, max_rows=40))
     return 0
 
 

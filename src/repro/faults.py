@@ -137,6 +137,9 @@ class ActiveFaults:
         self.sim = sim
         self.plan = plan
         self.injected = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.polled("faults.injected", lambda: self.injected)
         self._sites: Dict[str, _SiteState] = {}
         for rule in plan.rules:
             state = self._sites.get(rule.site)

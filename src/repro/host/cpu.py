@@ -20,13 +20,20 @@ class CpuPool:
     """
 
     def __init__(self, sim: Simulator, cores: int = 1,
-                 tracker: Optional[BusyTracker] = None):
+                 tracker: Optional[BusyTracker] = None,
+                 owner: Optional[str] = None):
         if cores < 1:
             raise ConfigurationError(f"need at least one core, got {cores}")
         self.sim = sim
         self.cores = cores
         self.tracker = tracker if tracker is not None else BusyTracker(sim)
         self._cores = Resource(sim, capacity=cores)
+        metrics = sim.metrics
+        if metrics is not None and owner is not None:
+            self.tracker.register("host.cpu.busy_ns", node=owner)
+            metrics.polled("host.cpu.util", self.utilization, node=owner)
+            metrics.polled("host.cpu.busy_cores",
+                           lambda: self._cores.count, node=owner)
 
     def run(self, cost: int, category: str):
         """Process: execute ``cost`` ns of work accounted to ``category``."""

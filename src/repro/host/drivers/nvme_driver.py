@@ -51,6 +51,10 @@ class HostNvmeDriver:
         self.policy = HOST_NVME_POLICY
         self.retries = 0
         self.late_completions = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.polled("faults.retries", lambda: self.retries,
+                           owner=f"{fabric.name}:host-nvme:{ssd.name}")
 
     # -- submission ----------------------------------------------------------
 

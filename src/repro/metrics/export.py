@@ -1,0 +1,110 @@
+"""Metric time-series exporters: deterministic CSV and flat JSONL.
+
+Both formats carry the same rows — one per ``(sim, time, series)``
+sample that survived change-compression — in the order they were
+recorded (sims in creation order, rows in sample order), so exports are
+byte-for-byte identical across runs of the same seed.
+
+* **CSV** — header ``sim,time_ns,metric,labels,value``; ``labels`` is
+  the canonical ``k=v;k2=v2`` rendering (sorted keys, never quoted),
+  ``value`` prints integers without a decimal point and floats with
+  ``%.9g``.
+* **JSONL** — one JSON object per row with the same fields plus
+  ``kind`` and ``unit`` from the catalog, sorted keys, compact
+  separators.
+
+Schema semantics are documented in ``docs/metrics.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
+
+from repro.metrics.catalog import METRICS
+from repro.metrics.registry import Metric, MetricSet, format_labels
+from repro.metrics.session import MetricsSession
+
+Sampleable = Union[MetricSet, MetricsSession, Iterable[MetricSet]]
+
+CSV_HEADER = "sim,time_ns,metric,labels,value"
+
+
+def _sets(source: Sampleable) -> List[MetricSet]:
+    if isinstance(source, MetricSet):
+        return [source]
+    if isinstance(source, MetricsSession):
+        return list(source.sets)
+    return list(source)
+
+
+def format_value(value: float) -> str:
+    """Integers without a decimal point, floats with ``%.9g``."""
+    if isinstance(value, bool):  # pragma: no cover - never emitted
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return f"{value:.9g}"
+
+
+def _rows(source: Sampleable) -> Iterator[Tuple[MetricSet, int, Metric, float]]:
+    for metric_set in _sets(source):
+        for tick, metric, value in metric_set.rows:
+            yield metric_set, tick, metric, value
+
+
+# -- CSV -------------------------------------------------------------------
+
+def csv_lines(source: Sampleable) -> Iterator[str]:
+    """Yield the header then one CSV line per recorded sample."""
+    yield CSV_HEADER
+    for metric_set, tick, metric, value in _rows(source):
+        yield (f"{metric_set.label},{tick},{metric.name},"
+               f"{format_labels(metric.labels)},{format_value(value)}")
+
+
+def write_csv(path: str, source: Sampleable) -> int:
+    """Write the CSV; returns the number of sample rows (excl. header)."""
+    count = -1
+    with open(path, "w", encoding="utf-8") as fh:
+        for count, line in enumerate(csv_lines(source)):
+            fh.write(line)
+            fh.write("\n")
+    return max(count, 0)
+
+
+# -- JSONL -----------------------------------------------------------------
+
+def sample_record(metric_set: MetricSet, tick: int, metric: Metric,
+                  value: float) -> Dict[str, Any]:
+    """The flat dict written per JSONL line (stable schema)."""
+    kind, unit, _ = METRICS[metric.name]
+    return {
+        "sim": metric_set.label,
+        "time_ns": tick,
+        "metric": metric.name,
+        "labels": dict(metric.labels),
+        "kind": kind,
+        "unit": unit,
+        "value": value,
+    }
+
+
+def jsonl_lines(source: Sampleable) -> Iterator[str]:
+    """Yield one canonical JSON line per recorded sample."""
+    for metric_set, tick, metric, value in _rows(source):
+        yield json.dumps(sample_record(metric_set, tick, metric, value),
+                         sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: str, source: Sampleable) -> int:
+    """Write the JSONL stream; returns the number of rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in jsonl_lines(source):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count

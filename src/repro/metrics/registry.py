@@ -1,0 +1,397 @@
+"""Typed metric instruments and the per-simulator registry.
+
+One :class:`MetricSet` rides one :class:`~repro.sim.kernel.Simulator`
+(``sim.metrics``), exactly as a :class:`~repro.trace.tracer.Tracer`
+does: it is ``None`` unless a
+:class:`~repro.metrics.session.MetricsSession` is installed, and every
+hot instrumentation site guards with a single ``is not None`` check.
+
+Two registration styles:
+
+* **instruments** — :meth:`MetricSet.counter` / :meth:`~MetricSet.gauge`
+  / :meth:`~MetricSet.timegauge` / :meth:`~MetricSet.histogram` return
+  an object the component updates at transition points.  Used where the
+  quantity is not already tracked (queue depths, bytes in flight, busy
+  engines).
+* **polled** — :meth:`MetricSet.polled` / :meth:`~MetricSet.polled_map`
+  take a callable read at sample time.  Used for quantities the model
+  already counts unconditionally (commands processed, allocator bytes,
+  fault counters): the hot path pays nothing at all.
+
+Sampling is driven by :meth:`MetricSet.advance`, called from
+``Simulator.step()`` whenever simulated time crosses a multiple of the
+sampling interval.  Crucially this **schedules no events**: the queue
+drains exactly as it would without metrics, so event order — and every
+published figure — is byte-identical with the plane enabled.
+
+Determinism: samples land on fixed interval boundaries, series are
+sampled in registration order, ``polled_map`` keys are iterated sorted,
+and rows are change-compressed (a row is recorded only for the first
+sample, a changed value, or the forced final sample) — so a seeded run
+exports byte-identical CSV/JSONL every time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import MetricsError
+from repro.metrics.catalog import METRICS
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+# Values above 2**63 all land in the top bucket; 64 edges cover every
+# integer quantity the simulator produces (ns, bytes, entries).
+HISTOGRAM_BUCKETS = 64
+
+
+def _labelset(labels: Mapping[str, Any]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    """Canonical ``k=v;k2=v2`` rendering (sorted keys, no quoting)."""
+    return ";".join(f"{k}={v}" for k, v in labels)
+
+
+class Metric:
+    """Base class: identity, sampling, and change-compression state."""
+
+    kind = "abstract"
+
+    __slots__ = ("name", "labels", "_sim", "_last_time", "_last_value")
+
+    def __init__(self, name: str, labels: LabelSet, sim):
+        self.name = name
+        self.labels = labels
+        self._sim = sim
+        self._last_time: Optional[int] = None
+        self._last_value: Optional[float] = None
+
+    def sample_value(self) -> float:
+        raise NotImplementedError
+
+    def _close(self, now: int) -> None:
+        """Finalize time-dependent state at ``now`` (end of run)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}({self.name}"
+                f"{{{format_labels(self.labels)}}})")
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelSet, sim):
+        super().__init__(name, labels, sim)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def sample_value(self) -> float:
+        return self.value
+
+
+class Gauge(Metric):
+    """An instantaneous level; tracks its peak."""
+
+    kind = "gauge"
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self, name: str, labels: LabelSet, sim):
+        super().__init__(name, labels, sim)
+        self.value: float = 0
+        self.peak: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+    def sample_value(self) -> float:
+        return self.value
+
+
+class TimeWeightedGauge(Gauge):
+    """A gauge that also integrates value × time on the simulated clock,
+    so ``mean()`` is the true time-weighted average, not an average of
+    samples."""
+
+    kind = "timegauge"
+
+    __slots__ = ("integral", "_since", "_born")
+
+    def __init__(self, name: str, labels: LabelSet, sim):
+        super().__init__(name, labels, sim)
+        self.integral: float = 0
+        self._since: int = sim.now
+        self._born: int = sim.now
+
+    def set(self, value: float) -> None:
+        now = self._sim.now
+        self.integral += self.value * (now - self._since)
+        self._since = now
+        super().set(value)
+
+    def _close(self, now: int) -> None:
+        self.integral += self.value * (now - self._since)
+        self._since = now
+
+    def mean(self, end: Optional[int] = None) -> float:
+        """Time-weighted mean over the instrument's lifetime."""
+        end = self._sim.now if end is None else end
+        elapsed = end - self._born
+        if elapsed <= 0:
+            return 0.0
+        tail = self.value * (end - self._since)
+        return (self.integral + tail) / elapsed
+
+    def sample_value(self) -> float:
+        return self.value
+
+
+class Histogram(Metric):
+    """A distribution over fixed log2 bucket edges.
+
+    Bucket ``i`` counts values whose ``int(value).bit_length() == i``,
+    i.e. edge ``i`` covers ``[2**(i-1), 2**i - 1]`` (bucket 0 is exactly
+    zero).  Integer bucketing makes the layout deterministic across
+    platforms — no float binning.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self, name: str, labels: LabelSet, sim):
+        super().__init__(name, labels, sim)
+        self.buckets: List[int] = [0] * HISTOGRAM_BUCKETS
+        self.count: int = 0
+        self.total: float = 0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise MetricsError(
+                f"histogram {self.name} observed negative value {value}")
+        index = min(int(value).bit_length(), HISTOGRAM_BUCKETS - 1)
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge at quantile ``q`` in [0, 1]; 0 when empty."""
+        if not 0 <= q <= 1:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= rank:
+                return float(2 ** index - 1) if index else 0.0
+        return float(2 ** (HISTOGRAM_BUCKETS - 1))  # pragma: no cover
+
+    def sample_value(self) -> float:
+        return self.count
+
+
+_KIND_CLASSES = {cls.kind: cls
+                 for cls in (Counter, Gauge, TimeWeightedGauge, Histogram)}
+
+
+class _Polled:
+    """A catalog metric whose value is read from a callable at sample
+    time; presented as a Counter/Gauge series in the export."""
+
+    __slots__ = ("metric", "fn")
+
+    def __init__(self, metric: Metric, fn: Callable[[], float]):
+        self.metric = metric
+        self.fn = fn
+
+    def sample_items(self) -> List[Tuple[Metric, float]]:
+        return [(self.metric, self.fn())]
+
+
+class _PolledMap:
+    """A polled metric over a dynamic key set (e.g. CPU cost categories).
+
+    ``fn`` returns a ``{key: value}`` mapping; each key becomes one
+    series with ``key_label=key`` added to the base labels.  Keys are
+    iterated sorted and child series are created on first sight, so the
+    series set and order are deterministic for a seeded run.
+    """
+
+    __slots__ = ("owner", "name", "key_label", "base_labels", "fn",
+                 "children")
+
+    def __init__(self, owner: "MetricSet", name: str, key_label: str,
+                 base_labels: Mapping[str, Any],
+                 fn: Callable[[], Mapping[str, float]]):
+        self.owner = owner
+        self.name = name
+        self.key_label = key_label
+        self.base_labels = dict(base_labels)
+        self.fn = fn
+        self.children: Dict[str, Metric] = {}
+
+    def sample_items(self) -> List[Tuple[Metric, float]]:
+        snapshot = self.fn()
+        items = []
+        for key in sorted(snapshot):
+            child = self.children.get(key)
+            if child is None:
+                labels = dict(self.base_labels)
+                labels[self.key_label] = key
+                child = self.owner._make(self.name, labels, polled=True)
+                self.children[key] = child
+            items.append((child, float(snapshot[key])))
+        return items
+
+
+class MetricSet:
+    """All metrics of one simulator plus its sampling clock."""
+
+    def __init__(self, sim, label: str, interval_ns: int):
+        if interval_ns <= 0:
+            raise MetricsError(
+                f"sampling interval must be positive, got {interval_ns}")
+        self.sim = sim
+        self.label = label
+        self.interval_ns = interval_ns
+        self.rows: List[Tuple[int, Metric, float]] = []
+        self._series: Dict[Tuple[str, LabelSet], Metric] = {}
+        self._order: List[Any] = []  # instruments, _Polled, _PolledMap
+        self._next_sample = interval_ns
+        self.finalized_at: Optional[int] = None
+
+    # -- registration -----------------------------------------------------
+
+    def _make(self, name: str, labels: Mapping[str, Any],
+              kind: Optional[str] = None, polled: bool = False) -> Metric:
+        entry = METRICS.get(name)
+        if entry is None:
+            raise MetricsError(
+                f"metric {name!r} is not in the documented catalog "
+                "(repro/metrics/catalog.py); register and document it "
+                "before emitting")
+        cat_kind = entry[0]
+        if kind is not None and kind != cat_kind:
+            raise MetricsError(
+                f"metric {name!r} is cataloged as {cat_kind!r}, "
+                f"requested as {kind!r}")
+        if polled and cat_kind not in ("counter", "gauge"):
+            raise MetricsError(
+                f"polled metrics must be counters or gauges; "
+                f"{name!r} is a {cat_kind}")
+        key = (name, _labelset(labels))
+        existing = self._series.get(key)
+        if existing is not None:
+            return existing
+        metric = _KIND_CLASSES[cat_kind](name, key[1], self.sim)
+        self._series[key] = metric
+        return metric
+
+    def _instrument(self, name: str, kind: str,
+                    labels: Mapping[str, Any]) -> Metric:
+        metric = self._make(name, labels, kind=kind)
+        if metric not in self._order:
+            self._order.append(metric)
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._instrument(name, "counter", labels)  # type: ignore
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._instrument(name, "gauge", labels)  # type: ignore
+
+    def timegauge(self, name: str, **labels: Any) -> TimeWeightedGauge:
+        return self._instrument(name, "timegauge", labels)  # type: ignore
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._instrument(name, "histogram", labels)  # type: ignore
+
+    def polled(self, name: str, fn: Callable[[], float],
+               **labels: Any) -> None:
+        """Register ``fn`` to be read at every sample instant."""
+        self._order.append(_Polled(self._make(name, labels, polled=True), fn))
+
+    def polled_map(self, name: str, key_label: str,
+                   fn: Callable[[], Mapping[str, float]],
+                   **labels: Any) -> None:
+        """Register a keyed family of polled series (one per map key)."""
+        entry = METRICS.get(name)
+        if entry is None:
+            raise MetricsError(
+                f"metric {name!r} is not in the documented catalog "
+                "(repro/metrics/catalog.py); register and document it "
+                "before emitting")
+        if entry[0] not in ("counter", "gauge"):
+            raise MetricsError(
+                f"polled metrics must be counters or gauges; "
+                f"{name!r} is a {entry[0]}")
+        self._order.append(_PolledMap(self, name, key_label, labels, fn))
+
+    # -- sampling ---------------------------------------------------------
+
+    def advance(self, now: int) -> None:
+        """Record samples for every interval boundary crossed by ``now``.
+
+        Called from ``Simulator.step()``; schedules nothing.
+        """
+        while self._next_sample <= now:
+            tick = self._next_sample
+            self._next_sample += self.interval_ns
+            self._record(tick, force=False)
+
+    def _record(self, tick: int, force: bool) -> None:
+        rows = self.rows
+        for entry in self._order:
+            if isinstance(entry, Metric):
+                items = ((entry, entry.sample_value()),)
+            else:
+                items = entry.sample_items()
+            for metric, value in items:
+                if metric._last_time == tick:
+                    continue
+                if not force and metric._last_value == value:
+                    continue
+                metric._last_time = tick
+                metric._last_value = value
+                rows.append((tick, metric, value))
+
+    def finalize(self) -> None:
+        """Close integrals and force one last sample at ``sim.now``."""
+        if self.finalized_at is not None:
+            return
+        now = self.sim.now
+        self.advance(now)
+        for metric in self._series.values():
+            metric._close(now)
+        self._record(now, force=True)
+        self.finalized_at = now
+
+    # -- introspection ----------------------------------------------------
+
+    def series(self) -> List[Metric]:
+        """Every series created so far, in creation order."""
+        return list(self._series.values())
+
+    def get(self, name: str, **labels: Any) -> Optional[Metric]:
+        return self._series.get((name, _labelset(labels)))

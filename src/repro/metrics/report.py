@@ -1,0 +1,147 @@
+"""The "sim-top" terminal report: per-resource peak/mean utilization.
+
+:func:`render_top` aggregates every series of a
+:class:`~repro.metrics.session.MetricsSession` (or a single
+:class:`~repro.metrics.registry.MetricSet`) across simulators by
+``(metric, labels)`` and renders one fixed-width table, sorted by
+resource name — the after-run analogue of ``top`` for the simulated
+machine.  Column meaning depends on the metric kind:
+
+===========  =====================  ==========  ==========  =========
+kind         mean                   peak        last        total
+===========  =====================  ==========  ==========  =========
+counter      rate (unit/s)          —           —           final sum
+gauge        —                      max value   final value —
+timegauge    time-weighted mean     max value   final value —
+histogram    mean observation       max bucket  —           count
+===========  =====================  ==========  ==========  =========
+
+All numbers derive from simulated state only, so the rendering is
+byte-deterministic for a seeded run (golden test:
+``tests/test_metrics_report.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.catalog import METRICS
+from repro.metrics.export import Sampleable, _sets, format_value
+from repro.metrics.registry import (Counter, Gauge, Histogram, Metric,
+                                    TimeWeightedGauge, format_labels)
+
+_DASH = "-"
+
+
+class _Agg:
+    """One report row: a series merged across simulators."""
+
+    def __init__(self, name: str, labels: str, kind: str, unit: str):
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.unit = unit
+        self.total: float = 0          # counter sum / histogram count
+        self.peak: float = 0
+        self.last: float = 0
+        self.integral: float = 0       # timegauge: sum of integrals
+        self.lifetime: int = 0         # timegauge: sum of lifetimes (ns)
+        self.duration: int = 0         # counter: sum of run durations (ns)
+        self.hist_sum: float = 0
+        self.hist_top: int = -1        # highest non-empty bucket index
+
+    @property
+    def resource(self) -> str:
+        return f"{self.name}{{{self.labels}}}" if self.labels else self.name
+
+    def absorb(self, metric: Metric, end: int) -> None:
+        if isinstance(metric, Counter):
+            self.total += metric.value
+            self.duration += end
+        elif isinstance(metric, TimeWeightedGauge):
+            self.peak = max(self.peak, metric.peak)
+            self.last = metric.value
+            self.integral += metric.integral
+            self.lifetime += max(0, end - metric._born)
+        elif isinstance(metric, Gauge):
+            self.peak = max(self.peak, metric.peak)
+            self.last = metric.value
+        elif isinstance(metric, Histogram):
+            self.total += metric.count
+            self.hist_sum += metric.total
+            for index, bucket in enumerate(metric.buckets):
+                if bucket:
+                    self.hist_top = max(self.hist_top, index)
+
+    # -- cell rendering ---------------------------------------------------
+
+    def cells(self) -> Tuple[str, str, str, str, str, str]:
+        mean = peak = last = total = _DASH
+        if self.kind == "counter":
+            total = format_value(self.total)
+            if self.duration > 0:
+                mean = format_value(
+                    round(self.total * 1e9 / self.duration, 3)) + "/s"
+        elif self.kind == "gauge":
+            peak = format_value(self.peak)
+            last = format_value(self.last)
+        elif self.kind == "timegauge":
+            peak = format_value(self.peak)
+            last = format_value(self.last)
+            if self.lifetime > 0:
+                mean = format_value(round(self.integral / self.lifetime, 4))
+        elif self.kind == "histogram":
+            total = format_value(self.total)
+            if self.total > 0:
+                mean = format_value(round(self.hist_sum / self.total, 3))
+            if self.hist_top >= 0:
+                peak = format_value(2 ** self.hist_top - 1 if self.hist_top
+                                    else 0)
+        return (self.resource, self.kind, mean, peak, last, total)
+
+
+def aggregate(source: Sampleable) -> List[_Agg]:
+    """Merge all series across simulators; rows sorted by resource."""
+    rows: Dict[Tuple[str, str], _Agg] = {}
+    for metric_set in _sets(source):
+        end = (metric_set.finalized_at if metric_set.finalized_at is not None
+               else metric_set.sim.now)
+        for metric in metric_set.series():
+            key = (metric.name, format_labels(metric.labels))
+            agg = rows.get(key)
+            if agg is None:
+                kind, unit, _ = METRICS[metric.name]
+                agg = rows[key] = _Agg(metric.name, key[1], kind, unit)
+            agg.absorb(metric, end)
+    return [rows[key] for key in sorted(rows)]
+
+
+_HEADER = ("resource", "kind", "mean", "peak", "last", "total")
+
+
+def render_top(source: Sampleable, max_rows: Optional[int] = None) -> str:
+    """Render the utilization table; ``max_rows`` truncates (with a
+    trailing note) for terminal use."""
+    sets = _sets(source)
+    rows = aggregate(sets)
+    sim_ns = sum(s.finalized_at if s.finalized_at is not None else s.sim.now
+                 for s in sets)
+    title = (f"sim-top — {len(sets)} sim{'s' if len(sets) != 1 else ''}, "
+             f"{len(rows)} series, {sim_ns / 1e6:.3f} ms simulated")
+    if not rows:
+        return title + "\n(no metrics registered)"
+    shown = rows if max_rows is None else rows[:max_rows]
+    table = [_HEADER] + [agg.cells() for agg in shown]
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(_HEADER))]
+    lines = [title]
+    for index, row in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(widths[col]) if col == 0 else cell.rjust(widths[col])
+            for col, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if len(shown) < len(rows):
+        lines.append(f"... {len(rows) - len(shown)} more series "
+                     "(pass max_rows=None for all)")
+    return "\n".join(lines)

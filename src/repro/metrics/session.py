@@ -1,0 +1,121 @@
+"""Session management for the metrics plane.
+
+Mirrors :class:`~repro.trace.tracer.TraceSession`: one
+:class:`MetricsSession` covers a whole experiment run and hands a fresh
+:class:`~repro.metrics.registry.MetricSet` to every
+:class:`~repro.sim.kernel.Simulator` constructed while installed.  With
+no session installed, ``Simulator.metrics`` is ``None`` and the whole
+plane costs one identity check per instrumentation site and one per
+``step()``.
+
+The default sampling interval is 100 µs of simulated time — coarse
+enough that app-scale runs stay small (rows are change-compressed on
+top), fine enough for a utilization time series; microbenchmark sims
+shorter than one interval still export one forced sample per series at
+finalize.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.errors import MetricsError
+from repro.metrics.registry import MetricSet
+
+DEFAULT_INTERVAL_NS = 100_000  # 100 µs of simulated time
+
+_ACTIVE_SESSION: Optional["MetricsSession"] = None
+
+
+class MetricsSession:
+    """Collects the metric sets of every simulator built while installed.
+
+    Use as a context manager (preferred) or via
+    :meth:`install`/:meth:`uninstall`::
+
+        with MetricsSession(label="fig11") as session:
+            run_fig11()
+        write_csv("out.csv", session)
+        print(render_top(session))
+    """
+
+    def __init__(self, label: str = "run",
+                 interval_ns: int = DEFAULT_INTERVAL_NS):
+        if interval_ns <= 0:
+            raise MetricsError(
+                f"sampling interval must be positive, got {interval_ns}")
+        self.sets: List[MetricSet] = []
+        self.interval_ns = interval_ns
+        self._label = label
+        self._counter = 0
+
+    # -- install ----------------------------------------------------------
+
+    def install(self) -> "MetricsSession":
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is not None and _ACTIVE_SESSION is not self:
+            raise MetricsError("another MetricsSession is already installed")
+        _ACTIVE_SESSION = self
+        return self
+
+    def uninstall(self) -> None:
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is self:
+            _ACTIVE_SESSION = None
+
+    def __enter__(self) -> "MetricsSession":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+        self.finalize()
+
+    # -- labelling --------------------------------------------------------
+
+    def set_label(self, label: str) -> str:
+        """Label simulators created from now on; returns the old label."""
+        previous, self._label = self._label, label
+        return previous
+
+    # -- metric-set factory -----------------------------------------------
+
+    def metrics_for(self, sim) -> MetricSet:
+        metric_set = MetricSet(sim, label=f"{self._label}/sim{self._counter}",
+                               interval_ns=self.interval_ns)
+        self._counter += 1
+        self.sets.append(metric_set)
+        return metric_set
+
+    def finalize(self) -> None:
+        for metric_set in self.sets:
+            metric_set.finalize()
+
+
+def current_metrics_session() -> Optional[MetricsSession]:
+    """The installed session, or None (metrics off)."""
+    return _ACTIVE_SESSION
+
+
+def metrics_for_new_sim(sim) -> Optional[MetricSet]:
+    """Called by ``Simulator.__init__``: a metric set when a session is
+    installed, else ``None`` (the zero-overhead default)."""
+    if _ACTIVE_SESSION is None:
+        return None
+    return _ACTIVE_SESSION.metrics_for(sim)
+
+
+@contextmanager
+def metrics_section(label: str):
+    """Label every simulator built inside the block (no-op when metrics
+    are off).  ``repro.trace.trace_section`` labels both planes, so
+    experiment runners only need the one call."""
+    session = current_metrics_session()
+    if session is None:
+        yield
+        return
+    previous = session.set_label(label)
+    try:
+        yield
+    finally:
+        session.set_label(previous)

@@ -50,14 +50,25 @@ class PcieLink:
     """A full-duplex link with FIFO per-direction occupancy."""
 
     def __init__(self, sim: Simulator, config: LinkConfig,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None, node: str = ""):
         self.sim = sim
         self.config = config
         self.name = name if name is not None else config.name
+        self.node = node
         self.rate = config.effective_rate()
         # Direction names follow the device's point of view.
         self.tx = Resource(sim, capacity=1)  # device -> switch
         self.rx = Resource(sim, capacity=1)  # switch -> device
+        metrics = sim.metrics
+        if metrics is None:
+            self._m_tx = self._m_rx = None
+        else:
+            self._m_tx = metrics.timegauge(
+                "pcie.link.inflight_bytes", node=node, link=self.name,
+                dir="tx")
+            self._m_rx = metrics.timegauge(
+                "pcie.link.inflight_bytes", node=node, link=self.name,
+                dir="rx")
 
     def serialization(self, size: int) -> int:
         """Time (ns) to clock ``size`` payload bytes through one direction."""
@@ -76,19 +87,27 @@ class PcieLink:
         span = None if tracer is None else tracer.begin(
             "tlp.send", track=f"link:{self.name}", name=f"{label} {size}B",
             link=self.name, direction=label, size=size)
-        faults = self.sim.faults
-        if faults is not None and faults.fires(
-                "pcie.timeout", link=self.name, direction=label, size=size):
-            # The TLP never completes: the requester waits out its
-            # completion timer and reports an error.
-            yield self.sim.timeout(COMPLETION_TIMEOUT_NS)
+        meter = self._m_tx if direction is self.tx else self._m_rx
+        if meter is not None:
+            meter.inc(size)
+        try:
+            faults = self.sim.faults
+            if faults is not None and faults.fires(
+                    "pcie.timeout", link=self.name, direction=label,
+                    size=size):
+                # The TLP never completes: the requester waits out its
+                # completion timer and reports an error.
+                yield self.sim.timeout(COMPLETION_TIMEOUT_NS)
+                if span is not None:
+                    span.end(failed=True)
+                raise DeviceTimeout(
+                    f"link {self.name} {label}: TLP completion timeout "
+                    f"({size} B)")
+            with direction.request() as req:
+                yield req
+                yield self.sim.timeout(self.serialization(size))
             if span is not None:
-                span.end(failed=True)
-            raise DeviceTimeout(
-                f"link {self.name} {label}: TLP completion timeout "
-                f"({size} B)")
-        with direction.request() as req:
-            yield req
-            yield self.sim.timeout(self.serialization(size))
-        if span is not None:
-            span.end()
+                span.end()
+        finally:
+            if meter is not None:
+                meter.dec(size)

@@ -18,7 +18,7 @@ methods (to be driven with ``yield from`` inside simulation processes):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.memory.region import MemoryRegion
@@ -44,13 +44,18 @@ class _Port:
     name: str
     link: PcieLink
     stats: PortStats = field(default_factory=PortStats)
+    # Metric instruments; None unless a MetricsSession is installed.
+    m_tx: Optional[object] = None
+    m_rx: Optional[object] = None
+    m_db: Optional[object] = None
 
 
 class Fabric:
     """A single-switch PCIe fabric with address-routed DMA."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, name: str = "fabric"):
         self.sim = sim
+        self.name = name
         self.address_map = AddressMap()
         self._ports: Dict[str, _Port] = {}
         self._msi_handlers: Dict[str, Callable[[str, int], None]] = {}
@@ -63,8 +68,17 @@ class Fabric:
         """Attach a device (or the root complex) to the switch."""
         if name in self._ports:
             raise SimulationError(f"duplicate port {name!r}")
-        self._ports[name] = _Port(name, PcieLink(self.sim, link_config,
-                                                 name=name))
+        port = _Port(name, PcieLink(self.sim, link_config, name=name,
+                                    node=self.name))
+        metrics = self.sim.metrics
+        if metrics is not None:
+            port.m_tx = metrics.counter("pcie.port.tx_bytes",
+                                        node=self.name, port=name)
+            port.m_rx = metrics.counter("pcie.port.rx_bytes",
+                                        node=self.name, port=name)
+            port.m_db = metrics.counter("pcie.port.doorbells",
+                                        node=self.name, port=name)
+        self._ports[name] = port
 
     def add_region(self, region: MemoryRegion) -> MemoryRegion:
         """Register an addressable window owned by one of the ports."""
@@ -170,6 +184,10 @@ class Fabric:
             "tlp.send", track=f"link:{src_link.name}",
             name=f"{src_link.name}->{dst_link.name} {size}B",
             src=src_link.name, dst=dst_link.name, size=size)
+        m_src, m_dst = src_link._m_tx, dst_link._m_rx
+        if m_src is not None:
+            m_src.inc(size)
+            m_dst.inc(size)
         src_dur = src_link.serialization(size)
         dst_dur = dst_link.serialization(size)
         first, second = (src_link.tx, src_dur), (dst_link.rx, dst_dur)
@@ -185,8 +203,12 @@ class Fabric:
         held = {first[0]: req_a, second[0]: req_b}
         yield self.sim.timeout(short[1])
         short[0].release(held[short[0]])
+        if m_src is not None:
+            (m_src if short[0] is src_link.tx else m_dst).dec(size)
         yield self.sim.timeout(long[1] - short[1])
         long[0].release(held[long[0]])
+        if m_src is not None:
+            (m_src if long[0] is src_link.tx else m_dst).dec(size)
         if span is not None:
             span.end()
 
@@ -197,7 +219,10 @@ class Fabric:
         latency.  Does not contend the bulk links (negligible payload).
         """
         region = self.address_map.resolve(addr, len(data))
-        self._port(initiator).stats.doorbells += 1
+        port = self._port(initiator)
+        port.stats.doorbells += 1
+        if port.m_db is not None:
+            port.m_db.inc()
         tracer = self.sim.tracer
         span = None if tracer is None else tracer.begin(
             "doorbell.ring", track=f"pcie:{initiator}",
@@ -246,6 +271,9 @@ class Fabric:
     def _account(self, src: _Port, dst: _Port, size: int) -> None:
         src.stats.tx_bytes += size
         dst.stats.rx_bytes += size
+        if src.m_tx is not None:
+            src.m_tx.inc(size)
+            dst.m_rx.inc(size)
         if "host" in (src.name, dst.name):
             self.host_bytes += size
         else:

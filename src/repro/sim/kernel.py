@@ -18,6 +18,7 @@ import heapq
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.metrics.session import metrics_for_new_sim
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.trace.tracer import tracer_for_new_sim
 
@@ -127,6 +128,11 @@ class Simulator:
         # tracer, every injection site guards with one `is not None`
         # check, so the fault-free hot path pays a single branch.
         self.faults = None
+        # None unless a repro.metrics.MetricsSession is installed.
+        # Sampling is driven from step() (see below) rather than by
+        # scheduled events, so the metrics plane can never perturb
+        # event order or keep a drain-mode run() alive.
+        self.metrics = metrics_for_new_sim(self)
 
     # -- event construction ---------------------------------------------
 
@@ -170,6 +176,9 @@ class Simulator:
         if when < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = when
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.advance(when)
         event._run_callbacks()
 
     # -- run loops --------------------------------------------------------

@@ -33,6 +33,16 @@ class BusyTracker:
         self._busy: Dict[str, int] = defaultdict(int)
         self._window_start: int = 0
 
+    def register(self, name: str, **labels: str) -> "BusyTracker":
+        """Expose this tracker through the metrics registry as one
+        polled counter series per category (``category=<key>`` added to
+        ``labels``).  A no-op when no metrics session is installed, so
+        callers can chain it unconditionally."""
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.polled_map(name, "category", self.by_category, **labels)
+        return self
+
     def add(self, category: str, duration: int) -> None:
         """Account ``duration`` ns of busy time to ``category``."""
         if duration < 0:
@@ -86,18 +96,32 @@ class BusyTracker:
 
 
 class Histogram:
-    """A simple sample collector with summary statistics."""
+    """A simple sample collector with summary statistics.
+
+    The sorted order is computed lazily and cached: figure experiments
+    ask the same histogram for p50/p95/p99 (and min/max) back to back,
+    so only the first rank query after an :meth:`add`/:meth:`extend`
+    pays the sort.
+    """
 
     def __init__(self):
         self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def add(self, sample: float) -> None:
         """Record one sample."""
         self._samples.append(sample)
+        self._sorted = None
 
     def extend(self, samples: Iterable[float]) -> None:
         """Record many samples."""
         self._samples.extend(samples)
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -126,19 +150,19 @@ class Histogram:
             raise SimulationError("percentile() of an empty histogram")
         if not 0 <= pct <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        ordered = sorted(self._samples)
+        ordered = self._ordered()
         rank = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
         return ordered[rank]
 
     def min(self) -> float:
         if not self._samples:
             raise SimulationError("min() of an empty histogram")
-        return min(self._samples)
+        return self._ordered()[0]
 
     def max(self) -> float:
         if not self._samples:
             raise SimulationError("max() of an empty histogram")
-        return max(self._samples)
+        return self._ordered()[-1]
 
 
 class Meter:
@@ -148,6 +172,15 @@ class Meter:
         self.sim = sim
         self._count: int = 0
         self._window_start: int = 0
+
+    def register(self, name: str, **labels: str) -> "Meter":
+        """Expose this meter's running count through the metrics
+        registry as a polled counter.  A no-op when no metrics session
+        is installed, so callers can chain it unconditionally."""
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.polled(name, lambda: self._count, **labels)
+        return self
 
     def add(self, amount: int) -> None:
         """Record ``amount`` units moved."""

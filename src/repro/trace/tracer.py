@@ -269,14 +269,24 @@ def tracer_for_new_sim(sim) -> Optional[Tracer]:
 
 @contextmanager
 def trace_section(label: str):
-    """Label every simulator built inside the block (no-op when tracing
-    is off) — the hook the experiment runners use."""
+    """Label every simulator built inside the block — the hook the
+    experiment runners use.  Labels both observability planes (an
+    installed TraceSession *and* an installed
+    :class:`repro.metrics.MetricsSession`), and is a no-op when neither
+    is installed."""
+    from repro.metrics.session import current_metrics_session
     session = current_session()
-    if session is None:
+    metrics_session = current_metrics_session()
+    if session is None and metrics_session is None:
         yield
         return
-    previous = session.set_label(label)
+    previous = session.set_label(label) if session is not None else None
+    previous_metrics = (metrics_session.set_label(label)
+                        if metrics_session is not None else None)
     try:
         yield
     finally:
-        session.set_label(previous)
+        if session is not None:
+            session.set_label(previous)
+        if metrics_session is not None:
+            metrics_session.set_label(previous_metrics)

@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench experiments faults-smoke trace-demo metrics-smoke \
-        docs-check clean
+        docs-check lint clean
 
 test:            ## tier-1 suite (ROADMAP.md verify command)
 	$(PYTHON) -m pytest -x -q
@@ -31,8 +31,12 @@ metrics-smoke:   ## metered headline: CSV non-empty + same-seed identical
 	    || (echo "metrics CSV differs across same-seed runs" && exit 1)
 	@echo "metrics-smoke OK: $$(wc -l < metrics-a.csv) rows, byte-identical"
 
-docs-check:      ## catalogs <-> docs/{tracing,metrics}.md lock-step check
-	$(PYTHON) -m pytest -q tests/test_trace_docs.py tests/test_metrics_docs.py
+docs-check:      ## catalogs <-> docs/{tracing,metrics,lint}.md lock-step check
+	$(PYTHON) -m pytest -q tests/test_trace_docs.py tests/test_metrics_docs.py \
+	    tests/test_lint_docs.py
+
+lint:            ## simlint: determinism/scheduling/plane-contract rules
+	$(PYTHON) -m repro.lint src tests
 
 clean:
 	rm -rf .pytest_cache .hypothesis trace.json metrics-a.csv metrics-b.csv

@@ -97,7 +97,7 @@ class EngineNicController(Executor):
         self._tx_hdr_cursor = 0
         self._flows_by_id: Dict[int, _FlowState] = {}
         self._flow_table = FlowTable()
-        self._flow_state_of: Dict[int, _FlowState] = {}  # id(flow) -> state
+        self._flow_state_of: Dict[int, _FlowState] = {}  # flow.uid -> state
         self._next_flow_id = 1
         self._tx_waiters: Dict[int, object] = {}   # send index -> Event
         # desc ring slot -> (payload staging addr, header slot addr)
@@ -154,7 +154,7 @@ class EngineNicController(Executor):
                            send_lock=Resource(self.sim, capacity=1))
         self._flows_by_id[flow_id] = state
         self._flow_table.add(flow)
-        self._flow_state_of[id(flow)] = state
+        self._flow_state_of[flow.uid] = state
         return flow_id
 
     def _state_for(self, flow_id: int) -> _FlowState:
@@ -303,7 +303,7 @@ class EngineNicController(Executor):
                     raise ProtocolError(
                         f"engine received frame for unknown connection "
                         f"{frame.ip.dst_ip}:{frame.tcp.dst_port}")
-                state = self._flow_state_of[id(flow)]
+                state = self._flow_state_of[flow.uid]
                 try:
                     data = flow.accept(frame)
                 except ProtocolError:

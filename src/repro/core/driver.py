@@ -49,7 +49,7 @@ class HdcDriver:
         self._written: set[int] = set()
         self._announced = 0
         self._waiters: Dict[int, object] = {}
-        self._flow_ids: Dict[int, int] = {}  # id(flow) -> engine flow id
+        self._flow_ids: Dict[int, int] = {}  # flow.uid -> engine flow id
         # Flow-control waiters parked on a full command queue, woken by
         # the completion path (no busy-polling).
         self._slot_waiters: list = []
@@ -99,12 +99,12 @@ class HdcDriver:
     def register_flow(self, flow: TcpFlow) -> int:
         """Offload a connection's data path to the engine."""
         flow_id = self.engine.register_flow(flow)
-        self._flow_ids[id(flow)] = flow_id
+        self._flow_ids[flow.uid] = flow_id
         return flow_id
 
     def flow_id(self, flow: TcpFlow) -> int:
         try:
-            return self._flow_ids[id(flow)]
+            return self._flow_ids[flow.uid]
         except KeyError:
             raise ConfigurationError(
                 "flow not offloaded to the engine") from None

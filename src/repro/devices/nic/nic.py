@@ -137,8 +137,10 @@ class Nic(PcieDevice):
             raise DeviceError(f"{self.name} already connected")
         self._wire = wire
         # Endpoint keys must be unique per wire even when two nodes use
-        # the same local device name ("nic" on node0 and node1).
-        self._wire_key = f"{self.name}#{id(self):x}"
+        # the same local device name ("nic" on node0 and node1); the
+        # fabric (host) name disambiguates and, unlike id(), is stable
+        # across runs.
+        self._wire_key = f"{self.fabric.name}/{self.name}"
         ingress = wire.attach(self._wire_key)
         self.rx_process = self.sim.process(self._rx_loop(ingress))
 

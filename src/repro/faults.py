@@ -51,6 +51,16 @@ FAULT_SITES = ("flash.read", "nvme.cqe_drop", "nic.wire_drop",
                "pcie.timeout")
 
 
+def fault_site_names() -> frozenset:
+    """The closed set of injection-site names.
+
+    Machine-readable export consumed by tooling — in particular the
+    ``PLANE003`` rule of :mod:`repro.lint`, which rejects site string
+    literals that are not wired into the models.
+    """
+    return frozenset(FAULT_SITES)
+
+
 # ---------------------------------------------------------------------------
 # Plans and rules
 # ---------------------------------------------------------------------------

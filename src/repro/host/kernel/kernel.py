@@ -76,8 +76,8 @@ class HostKernel:
         self.gpu = gpu
         self._header_pool_addr = header_pool_addr
         self._flows = FlowTable()
-        self._streams: Dict[int, _RxStream] = {}   # id(flow) -> stream
-        self._header_slots: Dict[int, int] = {}    # id(flow) -> header addr
+        self._streams: Dict[int, _RxStream] = {}   # flow.uid -> stream
+        self._header_slots: Dict[int, int] = {}    # flow.uid -> header addr
         self._next_header_slot = 0
         if nic is not None:
             nic.deliver = self._deliver_frame
@@ -161,7 +161,7 @@ class HostKernel:
     def register_flow(self, flow: TcpFlow) -> None:
         """Install an established connection into the socket layer."""
         self._flows.add(flow)
-        self._streams[id(flow)] = _RxStream(self.sim)
+        self._streams[flow.uid] = _RxStream(self.sim)
 
     def _deliver_frame(self, frame: Frame) -> None:
         flow = self._flows.lookup(frame)
@@ -171,7 +171,7 @@ class HostKernel:
                 f"{frame.tcp.dst_port}")
         payload = flow.accept(frame)
         if payload:
-            self._streams[id(flow)].append(payload)
+            self._streams[flow.uid].append(payload)
 
     def _build_header(self, flow: TcpFlow, payload_len: int) -> bytes:
         """The LSO header template for the next send on ``flow``."""
@@ -226,7 +226,7 @@ class HostKernel:
         gather copy into contiguous memory (the "data gathering
         problem", paper §V-C2) and writes the bytes there.
         """
-        stream = self._streams.get(id(flow))
+        stream = self._streams.get(flow.uid)
         if stream is None:
             raise ConfigurationError("flow not registered")
         with trace.span(CAT.NETWORK):

@@ -1,0 +1,37 @@
+"""simlint: simulation-safety static analysis for this repository.
+
+The repo's headline guarantees — byte-identical traces, golden metrics
+CSVs, seeded fault streams — rest on invariants that code review keeps
+missing (``id()``-keyed dicts, stray wall-clock reads, uncataloged
+metric names).  This package turns each invariant into an AST-level
+rule and a CI gate::
+
+    python -m repro.lint src tests        # exit 0 = clean
+    python -m repro.lint --list-rules
+
+Three rule families: **DET** (determinism), **SIM** (event-loop
+scheduling), **PLANE** (metrics/trace/fault catalog contracts).  The
+full catalog, with rationale and examples per rule, is documented in
+``docs/lint.md`` and kept in lock-step by ``tests/test_lint_docs.py``
+— the same docs-contract pattern the metrics and tracing planes use.
+
+Suppress a single finding inline with ``# simlint: disable=RULE``,
+a whole file with ``# simlint: skip-file`` (first five lines), or
+grandfather it in the committed ``lint-baseline.txt`` (see
+:mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import (EXCLUDED_DIRS, Finding, ModuleContext, Rule,
+                               compute_fingerprint, iter_python_files,
+                               lint_file, lint_paths, lint_source,
+                               module_name, register, rule_classes,
+                               rule_ids)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Baseline", "BaselineEntry", "EXCLUDED_DIRS", "Finding",
+    "ModuleContext", "Rule", "compute_fingerprint", "iter_python_files",
+    "lint_file", "lint_paths", "lint_source", "module_name", "register",
+    "rule_classes", "rule_ids", "render_json", "render_text",
+]

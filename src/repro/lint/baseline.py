@@ -1,0 +1,129 @@
+"""The committed baseline: grandfathered findings, one per line.
+
+A baseline entry pins one *specific* finding by its content-addressed
+fingerprint (rule id + path + stripped source line + occurrence
+ordinal — see :func:`repro.lint.engine.compute_fingerprint`), so it
+keeps matching across unrelated edits that only shift line numbers,
+but stops matching — and is reported as *stale* — the moment the
+offending line is fixed or the file moves.
+
+File format (``lint-baseline.txt`` at the repo root)::
+
+    # comment lines and blanks are ignored
+    DET003 1a2b3c4d5e6f src/repro/foo.py:42  # why this is grandfathered
+
+Only the first two fields (rule id, fingerprint) are significant; the
+location and trailing comment are for the human reading the diff.
+Every entry is expected to carry a justification comment — the CI gate
+admits baselined findings, so the comment is the review trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+_HEADER = """\
+# simlint baseline — grandfathered findings, one per line:
+#   <rule-id> <fingerprint> <path>:<line>  # justification
+# Regenerate with:  python -m repro.lint --update-baseline [paths]
+# Entries stop matching (and are flagged as stale) once the finding
+# is actually fixed; remove them then.
+"""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    fingerprint: str
+    location: str = ""
+    comment: str = ""
+
+
+class Baseline:
+    """A parsed baseline file plus matching against live findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (),
+                 path: Path = None):
+        self.entries = list(entries)
+        self.path = path
+
+    # -- I/O -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: List[BaselineEntry] = []
+        if not path.exists():
+            return cls([], path)
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, comment = line.partition("#")
+            fields = body.split()
+            if len(fields) < 2:
+                raise ValueError(
+                    f"{path}: malformed baseline line {raw!r} "
+                    "(need '<rule-id> <fingerprint> [location]')")
+            entries.append(BaselineEntry(
+                rule=fields[0], fingerprint=fields[1],
+                location=fields[2] if len(fields) > 2 else "",
+                comment=comment.strip()))
+        return cls(entries, path)
+
+    @staticmethod
+    def render(findings: Iterable[Finding],
+               comments: Dict[str, str] = None) -> str:
+        """The baseline text pinning ``findings`` (sorted, commented)."""
+        comments = comments or {}
+        lines = [_HEADER]
+        for finding in sorted(findings,
+                              key=lambda f: (f.path, f.line, f.rule)):
+            comment = comments.get(
+                finding.fingerprint, "justify or fix, then remove")
+            lines.append(f"{finding.rule} {finding.fingerprint} "
+                         f"{finding.location()}  # {comment}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, findings: Iterable[Finding]) -> None:
+        if self.path is None:
+            raise ValueError("baseline has no backing path")
+        # Preserve existing justification comments across regeneration.
+        kept = {entry.fingerprint: entry.comment
+                for entry in self.entries if entry.comment}
+        self.path.write_text(self.render(findings, kept),
+                             encoding="utf-8")
+
+    # -- matching --------------------------------------------------------
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding],
+                         List[BaselineEntry]]:
+        """Partition ``findings`` into (new, baselined) and also return
+        the stale baseline entries that matched nothing.
+
+        Fingerprints are multiset-matched: two identical violations
+        need two baseline entries.
+        """
+        budget: Dict[str, int] = {}
+        for entry in self.entries:
+            budget[entry.fingerprint] = budget.get(entry.fingerprint, 0) + 1
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        for entry in self.entries:
+            if budget.get(entry.fingerprint, 0) > 0:
+                budget[entry.fingerprint] -= 1
+                stale.append(entry)
+        return new, baselined, stale

@@ -17,7 +17,7 @@ off (``Simulator.metrics is None``; no sampling events are ever
 scheduled, enabled or not).
 """
 
-from repro.metrics.catalog import KINDS, METRICS, kind_of
+from repro.metrics.catalog import KINDS, METRICS, kind_of, metric_names
 from repro.metrics.export import (csv_lines, format_value, jsonl_lines,
                                   write_csv, write_jsonl)
 from repro.metrics.registry import (Counter, Gauge, Histogram, Metric,
@@ -29,7 +29,7 @@ from repro.metrics.session import (DEFAULT_INTERVAL_NS, MetricsSession,
                                    metrics_for_new_sim)
 
 __all__ = [
-    "METRICS", "KINDS", "kind_of",
+    "METRICS", "KINDS", "kind_of", "metric_names",
     "Metric", "Counter", "Gauge", "TimeWeightedGauge", "Histogram",
     "MetricSet", "format_labels",
     "MetricsSession", "current_metrics_session", "metrics_for_new_sim",

@@ -127,3 +127,13 @@ KINDS = ("counter", "gauge", "timegauge", "histogram")
 def kind_of(name: str) -> str:
     """The registered kind for ``name`` (KeyError if uncataloged)."""
     return METRICS[name][0]
+
+
+def metric_names() -> frozenset:
+    """The closed set of registrable metric names.
+
+    Machine-readable export consumed by tooling — in particular the
+    ``PLANE001`` rule of :mod:`repro.lint`, which rejects metric-name
+    string literals that are not in this catalog.
+    """
+    return frozenset(METRICS)

@@ -13,11 +13,21 @@ or reordering as protocol errors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Optional
 
 from repro.errors import ProtocolError
 from repro.net.headers import EthernetHeader, TcpHeader
 from repro.net.packet import Frame
+
+# Monotonic flow identifiers, assigned at construction.  Keying
+# per-flow state on ``flow.uid`` instead of ``id(flow)`` keeps every
+# flow-indexed dict insertion-ordered by *creation order*, so iteration
+# and sorting over those keys are identical across runs (``id()`` is a
+# memory address and is not).  The uid must never be embedded in traces
+# or exports: it is process-global, so a second run in the same process
+# continues the count.  Enforced by ``repro.lint`` rule DET003.
+_FLOW_UIDS = count(1)
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,7 @@ class TcpFlow:
 
     def __init__(self, local: TcpEndpoint, remote: TcpEndpoint,
                  initial_seq: int = 1, initial_ack: int = 1):
+        self.uid = next(_FLOW_UIDS)  # stable per-flow key (see _FLOW_UIDS)
         self.local = local
         self.remote = remote
         self.snd_nxt = initial_seq   # next sequence number we will send

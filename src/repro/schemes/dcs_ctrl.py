@@ -41,7 +41,7 @@ class DcsCtrlScheme(Scheme):
 
     def _socket_fd(self, node: Node, conn: Connection) -> int:
         flow = conn.flow0 if node is self.tb.node0 else conn.flow1
-        key = (self._node_index(node), id(flow))
+        key = (self._node_index(node), flow.uid)
         fd = self._socket_fds.get(key)
         if fd is None:
             fd = node.library.open_socket(flow)

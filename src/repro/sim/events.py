@@ -35,6 +35,10 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
+        # Per-simulator creation ordinal: a run-stable identity for
+        # reprs and debug logs, where id() would differ between
+        # otherwise identical runs.
+        self.eid = sim._next_event_id()
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
@@ -96,10 +100,10 @@ class Event:
         for callback in callbacks:
             callback(self)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending")
-        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+        return f"<{type(self).__name__} #{self.eid} {state}>"
 
 
 class Timeout(Event):

@@ -119,6 +119,7 @@ class Simulator:
         self.now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
         self._sequence: int = 0
+        self._event_count: int = 0
         self._active: bool = False
         # None unless a repro.trace.TraceSession is installed — every
         # instrumentation site guards on this, so tracing costs one
@@ -135,6 +136,11 @@ class Simulator:
         self.metrics = metrics_for_new_sim(self)
 
     # -- event construction ---------------------------------------------
+
+    def _next_event_id(self) -> int:
+        """Creation ordinal for the next event (run-stable identity)."""
+        self._event_count += 1
+        return self._event_count
 
     def event(self) -> Event:
         """Create a pending event that some model will trigger later."""

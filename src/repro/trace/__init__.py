@@ -7,7 +7,8 @@ semantics — the trace schema is a documented contract, enforced by
 
 from repro.trace.critical_path import (RequestBreakdown, last_breakdown,
                                        request_breakdowns)
-from repro.trace.events import EVENT_TYPES, is_registered
+from repro.trace.events import (EVENT_TYPES, event_type_names,
+                                is_registered)
 from repro.trace.export import (jsonl_lines, to_chrome, write_chrome,
                                 write_jsonl)
 from repro.trace.tracer import (Span, TraceEvent, Tracer, TraceSession,
@@ -15,7 +16,7 @@ from repro.trace.tracer import (Span, TraceEvent, Tracer, TraceSession,
                                 tracer_for_new_sim)
 
 __all__ = [
-    "EVENT_TYPES", "is_registered",
+    "EVENT_TYPES", "is_registered", "event_type_names",
     "Span", "TraceEvent", "Tracer", "TraceSession",
     "current_session", "trace_section", "tracer_for_new_sim",
     "jsonl_lines", "to_chrome", "write_chrome", "write_jsonl",

@@ -61,3 +61,13 @@ EVENT_TYPES: Dict[str, str] = {
 def is_registered(event_type: str) -> bool:
     """True if ``event_type`` is part of the documented contract."""
     return event_type in EVENT_TYPES
+
+
+def event_type_names() -> frozenset:
+    """The closed set of emittable event types.
+
+    Machine-readable export consumed by tooling — in particular the
+    ``PLANE002`` rule of :mod:`repro.lint`, which rejects event-type
+    string literals that are not in this taxonomy.
+    """
+    return frozenset(EVENT_TYPES)

@@ -1,0 +1,2 @@
+def remember(streams, flow, stream):
+    streams[id(flow)] = stream

@@ -1,0 +1,2 @@
+def stable_order(links):
+    return sorted(links, key=id)

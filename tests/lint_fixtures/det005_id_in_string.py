@@ -1,0 +1,2 @@
+def describe(event):
+    return "<Event at " + hex(id(event)) + ">"

@@ -1,0 +1,4 @@
+def wake_all(waiters):
+    ready = set(waiters)
+    for waiter in ready:
+        waiter.succeed()

@@ -1,0 +1,2 @@
+def at_checkpoint(now):
+    return now == 1.5e6

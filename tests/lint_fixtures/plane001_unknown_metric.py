@@ -1,0 +1,2 @@
+def meter(metrics, name):
+    return metrics.counter("nvme.tyop_bytes", dev=name)

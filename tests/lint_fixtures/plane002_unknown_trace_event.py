@@ -1,0 +1,2 @@
+def mark(tracer):
+    tracer.instant("nvme.oops", track="ssd")

@@ -1,0 +1,2 @@
+def build_rule(FaultRule):
+    return FaultRule(site="nvme.cqe_dorp", probability=0.01)

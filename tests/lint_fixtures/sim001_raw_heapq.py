@@ -1,0 +1,5 @@
+import heapq
+
+
+def soonest(queue):
+    return heapq.heappop(queue)

@@ -1,0 +1,2 @@
+def peek_next(sim):
+    return sim._heap[0]

@@ -153,5 +153,5 @@ class TestCorruptionDetection:
         nic1 = tb.node1.host.nic
         assert nic1.frames_dropped >= 3  # 4 KiB = 3 MSS segments
         assert nic1.frames_received == 0
-        stream = tb.node1.host.kernel._streams[id(conn.flow1)]
+        stream = tb.node1.host.kernel._streams[conn.flow1.uid]
         assert len(stream.buffer) == 0

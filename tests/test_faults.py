@@ -37,7 +37,7 @@ def _run_d2d(tb, kind, src, dst, length):
 class TestFaultPlan:
     def test_unknown_site_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown fault site"):
-            FaultRule("flash.write", probability=0.5)
+            FaultRule("flash.write", probability=0.5)  # simlint: disable=PLANE003
 
     def test_bad_probability_rejected(self):
         with pytest.raises(ConfigurationError, match="probability"):

@@ -95,7 +95,7 @@ class TestCatalogContract:
     def test_unknown_name_rejected(self):
         _, _, ms = _fresh()
         with pytest.raises(MetricsError, match="not in the documented"):
-            ms.counter("nvme.bogus")
+            ms.counter("nvme.bogus")  # simlint: disable=PLANE001
 
     def test_wrong_kind_rejected(self):
         _, _, ms = _fresh()
@@ -113,7 +113,7 @@ class TestCatalogContract:
     def test_polled_map_unknown_name_rejected(self):
         _, _, ms = _fresh()
         with pytest.raises(MetricsError, match="not in the documented"):
-            ms.polled_map("cpu.bogus", "category", lambda: {})
+            ms.polled_map("cpu.bogus", "category", lambda: {})  # simlint: disable=PLANE001
 
     def test_second_session_install_rejected(self):
         first = MetricsSession().install()

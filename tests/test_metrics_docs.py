@@ -30,7 +30,7 @@ class TestContract:
 
     def test_every_documented_metric_is_cataloged(self):
         documented = _documented_names()
-        unknown = [name for name in documented if name not in METRICS]
+        unknown = [name for name in sorted(documented) if name not in METRICS]
         assert not unknown, (
             f"docs/metrics.md documents metrics that "
             f"repro/metrics/catalog.py does not register: {unknown}")

@@ -6,6 +6,8 @@ never exceeded, and completions delivered according to the configured
 ordering policy.
 """
 
+from itertools import count
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -28,9 +30,9 @@ class RecordingExecutor(Executor):
     def execute(self, entry):
         self.active += 1
         self.peak = max(self.peak, self.active)
-        self.log.append(("start", id(entry), self.sim.now))
+        self.log.append(("start", entry.aux, self.sim.now))
         yield self.sim.timeout(self.duration)
-        self.log.append(("end", id(entry), self.sim.now))
+        self.log.append(("end", entry.aux, self.sim.now))
         self.active -= 1
         return None
 
@@ -58,13 +60,19 @@ def test_scoreboard_properties(tasks, slots, in_order):
     all_tasks = []
     completions = []
 
+    entry_uid = count(1)
+
     def admit_all(sim):
         for task_id, chain in enumerate(tasks, start=1):
             entries = []
             prev = None
             for dev, _weight in chain:
+                # aux doubles as a stable per-entry key for the log
+                # (entries are unhashable dataclasses, and id() keys
+                # are exactly what repro.lint rule DET003 forbids).
                 entry = DeviceCommand(dev=dev, rw="r", src=0, dst=0,
-                                      length=1, depends_on=prev)
+                                      length=1, aux=next(entry_uid),
+                                      depends_on=prev)
                 entries.append(entry)
                 prev = entry
             all_tasks.append((task_id, entries))
@@ -92,8 +100,8 @@ def test_scoreboard_properties(tasks, slots, in_order):
         times.setdefault(eid, {})[kind] = t
     for _tid, entries in all_tasks:
         for first, second in zip(entries, entries[1:]):
-            assert (times[id(second)]["start"]
-                    >= times[id(first)]["end"])
+            assert (times[second.aux]["start"]
+                    >= times[first.aux]["end"])
     # 3. Slot limits never exceeded.
     for executor in executors.values():
         assert executor.peak <= executor.slots

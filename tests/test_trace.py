@@ -60,9 +60,9 @@ class TestTracer:
 
     def test_unregistered_type_rejected(self, tracer):
         with pytest.raises(TraceError):
-            tracer.begin("not.a.type", track="t")
+            tracer.begin("not.a.type", track="t")  # simlint: disable=PLANE002
         with pytest.raises(TraceError):
-            tracer.instant("bogus", track="t")
+            tracer.instant("bogus", track="t")  # simlint: disable=PLANE002
 
     def test_parent_links(self, sim, tracer):
         root = tracer.begin("request", track="t")

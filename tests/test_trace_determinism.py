@@ -1,14 +1,49 @@
 """Golden-trace determinism: same seed => byte-identical JSONL."""
 
 from repro.experiments.common import measure_send
-from repro.schemes import DcsCtrlScheme, SwOptScheme
+from repro.schemes import DcsCtrlScheme, SwOptScheme, Testbed
 from repro.trace import TraceSession, jsonl_lines, to_chrome
+from repro.units import KIB
 
 
 def _traced_run(scheme_cls, processing):
     with TraceSession(label="golden") as session:
         measure_send(scheme_cls, processing, seed=7)
     return session
+
+
+def _interleaved_run(scheme_cls, seed=11):
+    """Three concurrent transfers on distinct flows under one trace."""
+    with TraceSession(label="interleaved") as session:
+        tb = Testbed(seed=seed)
+        scheme = scheme_cls(tb)
+        procs = []
+        buffers = []
+        for index, size in enumerate((2 * KIB, 4 * KIB, 3 * KIB)):
+            name = f"file-{index}.dat"
+            data = bytes((i * 11 + index) % 256 for i in range(size))
+            tb.node0.host.install_file(name, data)
+            conn = scheme.connect()
+
+            def sender(sim, conn=conn, name=name, size=size):
+                return (yield from scheme.send_file(
+                    tb.node0, conn, name, 0, size, processing=None))
+
+            procs.append(tb.sim.process(sender(tb.sim)))
+            if not conn.offloaded:
+                dst = tb.node1.host.alloc_buffer(size)
+
+                def receiver(sim, conn=conn, size=size, dst=dst):
+                    yield from tb.node1.host.kernel.socket_recv(
+                        conn.flow1, size, dst)
+
+                procs.append(tb.sim.process(receiver(tb.sim)))
+                buffers.append((dst, size))
+        for proc in procs:
+            tb.sim.run(until=proc)
+        for dst, size in buffers:
+            tb.node1.host.free_buffer(dst, size)
+    return "\n".join(jsonl_lines(session))
 
 
 class TestDeterminism:
@@ -30,6 +65,23 @@ class TestDeterminism:
                            sort_keys=True)
         second = json.dumps(to_chrome(_traced_run(DcsCtrlScheme, None)),
                             sort_keys=True)
+        assert first == second
+
+    def test_interleaved_offloaded_flows_byte_identical(self):
+        # Flow uids come from a process-global counter, so the second
+        # run's flows carry different uids than the first's.  Byte
+        # identity therefore proves both that uid never leaks into a
+        # trace record and that all flow-keyed engine/kernel state
+        # iterates in creation order, not memory-address order.
+        first = _interleaved_run(DcsCtrlScheme)
+        second = _interleaved_run(DcsCtrlScheme)
+        assert first == second
+
+    def test_interleaved_kernel_flows_byte_identical(self):
+        # Same property on the host path, which keys per-flow receive
+        # streams and header slots inside the kernel model.
+        first = _interleaved_run(SwOptScheme)
+        second = _interleaved_run(SwOptScheme)
         assert first == second
 
     def test_no_wall_clock_or_object_ids_leak(self):

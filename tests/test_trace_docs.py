@@ -30,7 +30,7 @@ class TestContract:
 
     def test_every_documented_type_is_registered(self):
         documented = _documented_types()
-        unknown = [t for t in documented if not is_registered(t)]
+        unknown = [t for t in sorted(documented) if not is_registered(t)]
         assert not unknown, (
             f"docs/tracing.md documents types that repro/trace/events.py "
             f"does not register: {unknown}")
